@@ -1,0 +1,324 @@
+// Package repro_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation, plus ablation benchmarks for
+// the design choices called out in DESIGN.md. Each benchmark reports the
+// key figure-of-merit as custom metrics (cycles per RMW, percentage
+// reductions, ...) so `go test -bench` output doubles as the experiment
+// log; cmd/experiments produces the full formatted tables.
+//
+// The benchmark configuration is reduced (8 cores, shortened workloads) so
+// that the whole suite completes in a few minutes; run
+// `go run ./cmd/experiments -all` for the paper-scale 32-core sweep.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpp11"
+	"repro/internal/experiments"
+	"repro/internal/litmus"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchOptions is the reduced experiment configuration used by the
+// benchmarks.
+func benchOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Cores = 8
+	o.Scale = 0.25
+	return o
+}
+
+// BenchmarkTable1IdiomMatrix regenerates Table 1: model checking of the
+// Dekker idioms and the C/C++11 mapping soundness per RMW type.
+func BenchmarkTable1IdiomMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckTable1Matches(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Parameters renders the architectural parameters (Table 2);
+// it mostly exists so every table has a named regeneration target.
+func BenchmarkTable2Parameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.RenderTable2(sim.DefaultConfig()) == "" {
+			b.Fatal("empty Table 2")
+		}
+	}
+}
+
+// BenchmarkTable3Characteristics regenerates Table 3: per-benchmark RMW
+// density, unique-RMW fraction, revert rate and broadcast rate.
+func BenchmarkTable3Characteristics(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunTable3Benchmarks(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Table3FromRuns(runs)
+		if len(rows) != 7 {
+			b.Fatalf("Table 3 has %d rows", len(rows))
+		}
+		if i == b.N-1 {
+			var density float64
+			for _, r := range rows {
+				density += r.RMWsPer1000
+			}
+			b.ReportMetric(density/float64(len(rows)), "RMWs/1000memops")
+		}
+	}
+}
+
+// BenchmarkTable4MappingValidation regenerates the Table 4 mapping
+// soundness matrix.
+func BenchmarkTable4MappingValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		unsound := 0
+		for _, r := range rows {
+			if !r.Sound {
+				unsound++
+			}
+		}
+		if unsound != 1 {
+			b.Fatalf("expected exactly one unsound mapping/type combination, got %d", unsound)
+		}
+	}
+}
+
+// BenchmarkFig11aRMWCost regenerates Fig. 11(a): the per-RMW cost split for
+// type-1/2/3 across the benchmark set. The reported metrics are the average
+// per-RMW cost per type and the type-2/type-3 reductions.
+func BenchmarkFig11aRMWCost(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunTable3Benchmarks(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		figA, figB := experiments.Fig11FromRuns(runs)
+		sum := experiments.Summarize(figA, figB)
+		if i == b.N-1 {
+			var c1, c2, c3 float64
+			for _, e := range figA {
+				c1 += e.Total(core.Type1)
+				c2 += e.Total(core.Type2)
+				c3 += e.Total(core.Type3)
+			}
+			n := float64(len(figA))
+			b.ReportMetric(c1/n, "type1-cycles/RMW")
+			b.ReportMetric(c2/n, "type2-cycles/RMW")
+			b.ReportMetric(c3/n, "type3-cycles/RMW")
+			b.ReportMetric(sum.Type2CostReductionMax, "type2-max-reduction-%")
+			b.ReportMetric(sum.Type3CostReductionMax, "type3-max-reduction-%")
+		}
+	}
+}
+
+// BenchmarkFig11bExecutionOverhead regenerates Fig. 11(b): the share of
+// execution time spent on RMWs and the end-to-end improvement of the weak
+// RMWs.
+func BenchmarkFig11bExecutionOverhead(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunTable3Benchmarks(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		figA, figB := experiments.Fig11FromRuns(runs)
+		sum := experiments.Summarize(figA, figB)
+		if i == b.N-1 {
+			var o1 float64
+			for _, e := range figB {
+				o1 += e.Overhead[core.Type1]
+			}
+			b.ReportMetric(o1/float64(len(figB)), "type1-overhead-%")
+			b.ReportMetric(sum.MaxSpeedupType2, "type2-max-speedup-%")
+			b.ReportMetric(sum.MaxSpeedupType3, "type3-max-speedup-%")
+		}
+	}
+}
+
+// BenchmarkFig11Cpp11Variants regenerates the wsq-mst_rr / wsq-mst_wr bars
+// of Fig. 11: the C/C++11 SC-atomic read- and write-replacement runs.
+func BenchmarkFig11Cpp11Variants(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunCpp11Benchmarks(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, run := range runs {
+				_, _, c1 := run.Result(core.Type1).AvgRMWCost()
+				_, _, c2 := run.Result(core.Type2).AvgRMWCost()
+				name := run.Name
+				b.ReportMetric(c1, name+"-type1-cycles/RMW")
+				b.ReportMetric(c2, name+"-type2-cycles/RMW")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBloomFilterOverhead measures what the addr-list protocol
+// itself costs when it is never needed: a single-core workload where no RMW
+// can conflict, run with the protocol enabled and disabled. DESIGN.md calls
+// this out as the price of deadlock safety.
+func BenchmarkAblationBloomFilterOverhead(b *testing.B) {
+	profile, err := workload.FindProfile("radiosity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile.Iterations = 64
+	trace, err := workload.Generator{Cores: 1, Seed: 3}.Generate(profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(disable bool) *sim.Result {
+		cfg := sim.DefaultConfig().WithCores(1).WithRMWType(core.Type2)
+		cfg.DisableDeadlockAvoidance = disable
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(false)
+		without := run(true)
+		if i == b.N-1 {
+			_, _, cw := with.AvgRMWCost()
+			_, _, cwo := without.AvgRMWCost()
+			b.ReportMetric(cw, "with-addrlist-cycles/RMW")
+			b.ReportMetric(cwo, "naive-cycles/RMW")
+		}
+	}
+}
+
+// BenchmarkAblationParallelDrain measures the effect of the parallel
+// write-buffer drain optimization on the type-1 baseline (the paper adopts
+// it from Gharachorloo et al. to strengthen the baseline).
+func BenchmarkAblationParallelDrain(b *testing.B) {
+	profile, err := workload.FindProfile("bayes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile.Iterations = 48
+	trace, err := workload.Generator{Cores: 8, Seed: 5}.Generate(profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(parallel bool) *sim.Result {
+		cfg := sim.DefaultConfig().WithCores(8).WithRMWType(core.Type1)
+		cfg.ParallelDrain = parallel
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		par := run(true)
+		ser := run(false)
+		if i == b.N-1 {
+			wbPar, _, _ := par.AvgRMWCost()
+			wbSer, _, _ := ser.AvgRMWCost()
+			b.ReportMetric(wbPar, "parallel-drain-cycles")
+			b.ReportMetric(wbSer, "serial-drain-cycles")
+		}
+	}
+}
+
+// BenchmarkAblationBloomFilterSize sweeps the addr-list filter size and
+// reports the revert (false-positive-induced drain) rate at each size,
+// justifying the paper's 128-byte choice.
+func BenchmarkAblationBloomFilterSize(b *testing.B) {
+	profile, err := workload.FindProfile("wsq-mst")
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile.Iterations = 64
+	trace, err := workload.Generator{Cores: 8, Seed: 9}.Generate(profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := []int{128, 512, 1024, 4096}
+	for i := 0; i < b.N; i++ {
+		for _, bits := range sizes {
+			cfg := sim.DefaultConfig().WithCores(8).WithRMWType(core.Type2)
+			cfg.BloomFilterBits = bits
+			s, err := sim.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Run(trace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(res.RevertPercent(), "revert%-"+itoa(bits)+"bit")
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkLitmusSuite measures the model checker on the full litmus suite,
+// one verdict per test and atomicity type.
+func BenchmarkLitmusSuite(b *testing.B) {
+	tests := litmus.AllTests()
+	for i := 0; i < b.N; i++ {
+		for _, t := range tests {
+			if _, err := t.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMappingValidation measures the exhaustive C/C++11-vs-TSO outcome
+// comparison on the SC store-buffering program.
+func BenchmarkMappingValidation(b *testing.B) {
+	p := cpp11.SCStoreBuffering()
+	for i := 0; i < b.N; i++ {
+		for _, m := range cpp11.AllMappings() {
+			for _, typ := range core.AllTypes() {
+				if _, err := cpp11.ValidateMapping(p, m, typ); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

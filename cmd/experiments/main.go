@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -all                  regenerate everything (Table 1-4, Fig. 11a/b, summary)
+//	experiments -table 1              one table (1, 2, 3 or 4)
+//	experiments -fig 11a              one figure (11a or 11b)
+//	experiments -summary              only the headline summary
+//	experiments -quick                use the reduced configuration (8 cores, short workloads)
+//	experiments -cores 16 -scale 0.5  custom run size
+//
+// The semantics experiments (Tables 1 and 4) are exact model-checking
+// results and always match the paper. The simulation experiments (Table 3,
+// Fig. 11) reproduce the paper's shapes on the synthetic workloads; see
+// EXPERIMENTS.md for the recorded comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		table   = flag.String("table", "", "regenerate one table: 1, 2, 3 or 4")
+		fig     = flag.String("fig", "", "regenerate one figure: 11a or 11b")
+		summary = flag.Bool("summary", false, "print the headline summary")
+		quick   = flag.Bool("quick", false, "use the reduced configuration")
+		cores   = flag.Int("cores", 0, "override the number of simulated cores")
+		scale   = flag.Float64("scale", 0, "override the workload scale factor")
+		seed    = flag.Int64("seed", 0, "override the workload seed")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *cores > 0 {
+		opts.Cores = *cores
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	if !*all && *table == "" && *fig == "" && !*summary {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *all || *table == "1" {
+		rows, err := experiments.RunTable1()
+		check(err)
+		fmt.Println(experiments.RenderTable1(rows))
+		if err := experiments.CheckTable1Matches(rows); err != nil {
+			fmt.Println("WARNING:", err)
+		} else {
+			fmt.Println("Table 1 matches the paper exactly.")
+		}
+		fmt.Println()
+	}
+	if *all || *table == "2" {
+		fmt.Println(experiments.RenderTable2(opts.BaseConfig()))
+		fmt.Println()
+	}
+	if *all || *table == "4" {
+		rows, err := experiments.RunTable4()
+		check(err)
+		fmt.Println(experiments.RenderTable4(rows))
+		fmt.Println()
+	}
+
+	needSim := *all || *table == "3" || *fig == "11a" || *fig == "11b" || *summary
+	if !needSim {
+		return
+	}
+
+	fmt.Printf("Simulating the Table 3 benchmark set (%d cores, scale %.2f)...\n\n", opts.Cores, opts.Scale)
+	runs, err := experiments.RunTable3Benchmarks(opts)
+	check(err)
+	cppRuns, err := experiments.RunCpp11Benchmarks(opts)
+	check(err)
+	allRuns := append(append([]*experiments.BenchmarkRun{}, runs...), cppRuns...)
+
+	if *all || *table == "3" {
+		fmt.Println(experiments.RenderTable3(experiments.Table3FromRuns(runs)))
+		fmt.Println()
+	}
+	figA, figB := experiments.Fig11FromRuns(allRuns)
+	if *all || *fig == "11a" {
+		fmt.Println(experiments.RenderFig11a(figA))
+		fmt.Println()
+	}
+	if *all || *fig == "11b" {
+		fmt.Println(experiments.RenderFig11b(figB))
+		fmt.Println()
+	}
+	if *all || *summary {
+		fmt.Println(experiments.Summarize(figA, figB).Render())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

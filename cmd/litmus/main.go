@@ -1,0 +1,105 @@
+// Command litmus model-checks litmus tests against the TSO-with-RMW memory
+// models of the paper.
+//
+// Usage:
+//
+//	litmus -suite            run the built-in suite (paper figures + classics)
+//	litmus -test <name>      run one built-in test by name
+//	litmus -file <path>      run a test from a litmus file
+//	litmus -type type-2      restrict to one atomicity type (default: all three)
+//	litmus -v                also print the outcome sets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/litmus"
+)
+
+func main() {
+	var (
+		suite    = flag.Bool("suite", false, "run the full built-in suite")
+		testName = flag.String("test", "", "run one built-in test by name")
+		file     = flag.String("file", "", "run a test parsed from a litmus file")
+		typeName = flag.String("type", "", "atomicity type to check (type-1, type-2, type-3); default all")
+		verbose  = flag.Bool("v", false, "print outcome sets")
+	)
+	flag.Parse()
+
+	types := core.AllTypes()
+	if *typeName != "" {
+		t, err := core.ParseAtomicityType(*typeName)
+		if err != nil {
+			fatal(err)
+		}
+		types = []core.AtomicityType{t}
+	}
+
+	var tests []*litmus.Test
+	switch {
+	case *suite:
+		tests = litmus.AllTests()
+	case *testName != "":
+		t := litmus.FindTest(*testName)
+		if t == nil {
+			fatal(fmt.Errorf("unknown test %q; available tests:\n  %s", *testName, strings.Join(testNames(), "\n  ")))
+		}
+		tests = []*litmus.Test{t}
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := litmus.Parse(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		tests = []*litmus.Test{t}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	mismatches := 0
+	var results []litmus.Result
+	for _, test := range tests {
+		for _, typ := range types {
+			r, err := test.Run(typ)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, r)
+			if !r.Matches {
+				mismatches++
+			}
+			if *verbose {
+				fmt.Printf("%s under %s: condition %s -> %v\n", test.Name, typ, test.Cond, r.Holds)
+				for _, key := range r.Outcomes.Keys() {
+					fmt.Printf("    %s\n", key)
+				}
+			}
+		}
+	}
+	fmt.Print(litmus.Report(results))
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "%d result(s) do not match their recorded expectation\n", mismatches)
+		os.Exit(1)
+	}
+}
+
+func testNames() []string {
+	var out []string
+	for _, t := range litmus.AllTests() {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "litmus:", err)
+	os.Exit(1)
+}

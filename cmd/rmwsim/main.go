@@ -1,0 +1,112 @@
+// Command rmwsim runs one benchmark workload on the chip-multiprocessor
+// simulator and prints the run's statistics, including the per-RMW cost
+// split.
+//
+// Usage:
+//
+//	rmwsim -bench bayes -type type-2
+//	rmwsim -bench wsq-mst -replace read -type type-3 -cores 16
+//	rmwsim -bench fig10 -type type-2 -naive       demonstrate the write-deadlock
+//	rmwsim -list                                   list the available benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "radiosity", "benchmark to run (see -list), or 'fig10' for the write-deadlock pattern")
+		typeName  = flag.String("type", "type-1", "RMW implementation: type-1, type-2 or type-3")
+		replace   = flag.String("replace", "none", "wsq-mst C/C++11 variant: none, read or write")
+		cores     = flag.Int("cores", 32, "number of simulated cores")
+		scale     = flag.Float64("scale", 1.0, "iteration-count scale factor")
+		seed      = flag.Int64("seed", 20130601, "workload generation seed")
+		naive     = flag.Bool("naive", false, "disable the bloom-filter deadlock avoidance (type-2/3 only)")
+		list      = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Benchmarks:", strings.Join(workload.ProfileNames(), ", "), "and fig10")
+		return
+	}
+
+	typ, err := core.ParseAtomicityType(*typeName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultConfig().WithCores(*cores).WithRMWType(typ)
+	cfg.DisableDeadlockAvoidance = *naive
+
+	trace, err := buildTrace(*benchName, *replace, *cores, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	simulator, err := sim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := simulator.Run(trace)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.String())
+	if res.Deadlocked {
+		fmt.Println("the run deadlocked: this is the Fig. 10 write-deadlock that the bloom-filter protocol prevents")
+		os.Exit(1)
+	}
+}
+
+func buildTrace(bench, replace string, cores int, scale float64, seed int64) (*sim.Trace, error) {
+	if bench == "fig10" {
+		return fig10Trace(cores), nil
+	}
+	profile, err := workload.FindProfile(bench)
+	if err != nil {
+		return nil, err
+	}
+	if scale > 0 && scale != 1.0 {
+		n := int(float64(profile.Iterations) * scale)
+		if n < 8 {
+			n = 8
+		}
+		profile.Iterations = n
+	}
+	gen := workload.Generator{Cores: cores, Seed: seed}
+	switch replace {
+	case "none", "":
+	case "read":
+		gen.Replacement = workload.ReadReplacement
+	case "write":
+		gen.Replacement = workload.WriteReplacement
+	default:
+		return nil, fmt.Errorf("unknown replacement %q (want none, read or write)", replace)
+	}
+	return gen.Generate(profile)
+}
+
+// fig10Trace reproduces the write-deadlock pattern of the paper's Fig. 10
+// on the first two cores: each core writes a line the other core owns and
+// then RMWs a line it owns itself.
+func fig10Trace(cores int) *sim.Trace {
+	const lineA, lineB = 0x10000, 0x20000
+	tr := sim.NewTrace("fig10", cores)
+	tr.Append(0, sim.RMW(lineB), sim.Compute(5000))
+	tr.Append(1, sim.RMW(lineA), sim.Compute(5000))
+	tr.Append(0, sim.Write(lineA), sim.RMW(lineB), sim.Fence(), sim.Compute(1))
+	tr.Append(1, sim.Write(lineB), sim.RMW(lineA), sim.Fence(), sim.Compute(1))
+	return tr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmwsim:", err)
+	os.Exit(1)
+}

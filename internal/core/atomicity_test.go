@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+func TestAtomicityTypeString(t *testing.T) {
+	if Type1.String() != "type-1" || Type2.String() != "type-2" || Type3.String() != "type-3" {
+		t.Error("atomicity type names do not match the paper")
+	}
+	if AtomicityType(9).String() == "" {
+		t.Error("unknown atomicity type should still render")
+	}
+}
+
+func TestParseAtomicityType(t *testing.T) {
+	cases := map[string]AtomicityType{
+		"type-1": Type1, "type1": Type1, "1": Type1,
+		"type-2": Type2, "type2": Type2, "2": Type2,
+		"type-3": Type3, "type3": Type3, "3": Type3,
+	}
+	for s, want := range cases {
+		got, err := ParseAtomicityType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAtomicityType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseAtomicityType("type-4"); err == nil {
+		t.Error("unknown type must not parse")
+	}
+}
+
+func TestStrongerOrdering(t *testing.T) {
+	if !Type1.Stronger(Type2) || !Type1.Stronger(Type3) || !Type2.Stronger(Type3) {
+		t.Error("type-1 > type-2 > type-3 strength ordering broken")
+	}
+	if Type3.Stronger(Type2) || Type2.Stronger(Type1) {
+		t.Error("weaker types must not claim to be stronger")
+	}
+	if !Type2.Stronger(Type2) {
+		t.Error("a type is as strong as itself")
+	}
+}
+
+func TestAllTypes(t *testing.T) {
+	types := AllTypes()
+	if len(types) != 3 || types[0] != Type1 || types[1] != Type2 || types[2] != Type3 {
+		t.Errorf("AllTypes = %v", types)
+	}
+}
+
+func TestRMWPairsExtraction(t *testing.T) {
+	p := memmodel.NewProgram("pairs")
+	p.AddThread(memmodel.Exchange(0, "r1", 1), memmodel.Write(1, 1))
+	p.AddThread(memmodel.FetchAdd(1, "r2", 1))
+	execs, err := memmodel.Enumerate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := execs[0]
+	pairs := RMWPairs(x)
+	if len(pairs) != 2 {
+		t.Fatalf("found %d RMW pairs, want 2", len(pairs))
+	}
+	for _, pr := range pairs {
+		ra := x.Events[pr.Read]
+		wa := x.Events[pr.Write]
+		if ra.Kind != memmodel.KindRMWRead || wa.Kind != memmodel.KindRMWWrite {
+			t.Errorf("pair halves misclassified: %v / %v", ra, wa)
+		}
+		if ra.Addr != pr.Addr || wa.Addr != pr.Addr {
+			t.Errorf("pair address mismatch")
+		}
+		if ra.Thread != pr.Thread {
+			t.Errorf("pair thread mismatch")
+		}
+	}
+}
+
+func TestRMWPairsEmptyWithoutRMWs(t *testing.T) {
+	p := memmodel.NewProgram("none")
+	p.AddThread(memmodel.Write(0, 1), memmodel.Read(1, "r1"))
+	execs, err := memmodel.Enumerate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RMWPairs(execs[0]); len(got) != 0 {
+		t.Fatalf("RMWPairs on RMW-free program = %v, want empty", got)
+	}
+}
+
+// disallowedFixture builds one execution with a single RMW on x plus a write
+// and a read to x and to y from another thread, and returns the events of
+// interest for Disallowed tests.
+func disallowedFixture(t *testing.T) (x *memmodel.Execution, pair RMWPair, wx, rx, wy, ry *memmodel.Event) {
+	t.Helper()
+	p := memmodel.NewProgram("disallowed")
+	p.AddThread(memmodel.Exchange(0, "r1", 1))
+	p.AddThread(memmodel.Write(0, 2), memmodel.Read(0, "r2"), memmodel.Write(1, 1), memmodel.Read(1, "r3"))
+	execs, err := memmodel.Enumerate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x = execs[0]
+	pairs := RMWPairs(x)
+	if len(pairs) != 1 {
+		t.Fatalf("want 1 RMW pair, got %d", len(pairs))
+	}
+	pair = pairs[0]
+	for _, e := range x.Events {
+		if e.Thread != 1 {
+			continue
+		}
+		switch {
+		case e.Kind == memmodel.KindWrite && e.Addr == 0:
+			wx = e
+		case e.Kind == memmodel.KindRead && e.Addr == 0:
+			rx = e
+		case e.Kind == memmodel.KindWrite && e.Addr == 1:
+			wy = e
+		case e.Kind == memmodel.KindRead && e.Addr == 1:
+			ry = e
+		}
+	}
+	if wx == nil || rx == nil || wy == nil || ry == nil {
+		t.Fatal("fixture events missing")
+	}
+	return
+}
+
+func TestDisallowedType1(t *testing.T) {
+	x, pair, wx, rx, wy, ry := disallowedFixture(t)
+	_ = x
+	// Type-1: all writes (any address) disallowed; reads allowed.
+	if !Disallowed(Type1, wx, pair) || !Disallowed(Type1, wy, pair) {
+		t.Error("type-1 must disallow writes to any address")
+	}
+	if Disallowed(Type1, rx, pair) || Disallowed(Type1, ry, pair) {
+		t.Error("type-1 must not disallow reads")
+	}
+}
+
+func TestDisallowedType2(t *testing.T) {
+	_, pair, wx, rx, wy, ry := disallowedFixture(t)
+	// Type-2: same-address reads and writes disallowed; other addresses allowed.
+	if !Disallowed(Type2, wx, pair) || !Disallowed(Type2, rx, pair) {
+		t.Error("type-2 must disallow same-address reads and writes")
+	}
+	if Disallowed(Type2, wy, pair) || Disallowed(Type2, ry, pair) {
+		t.Error("type-2 must not disallow accesses to other addresses")
+	}
+}
+
+func TestDisallowedType3(t *testing.T) {
+	_, pair, wx, rx, wy, ry := disallowedFixture(t)
+	// Type-3: only same-address writes disallowed.
+	if !Disallowed(Type3, wx, pair) {
+		t.Error("type-3 must disallow same-address writes")
+	}
+	if Disallowed(Type3, rx, pair) {
+		t.Error("type-3 must allow same-address reads")
+	}
+	if Disallowed(Type3, wy, pair) || Disallowed(Type3, ry, pair) {
+		t.Error("type-3 must not disallow accesses to other addresses")
+	}
+}
+
+func TestDisallowedNeverIncludesOwnHalvesOrFences(t *testing.T) {
+	p := memmodel.NewProgram("own-halves")
+	p.AddThread(memmodel.Exchange(0, "r1", 1), memmodel.Fence())
+	execs, err := memmodel.Enumerate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := execs[0]
+	pair := RMWPairs(x)[0]
+	for _, typ := range AllTypes() {
+		for _, e := range x.Events {
+			if e.Index == pair.Read || e.Index == pair.Write {
+				if Disallowed(typ, e, pair) {
+					t.Errorf("%v: RMW's own halves must never be disallowed", typ)
+				}
+			}
+			if e.IsFence() && Disallowed(typ, e, pair) {
+				t.Errorf("%v: fences must never be disallowed", typ)
+			}
+		}
+	}
+}
+
+func TestDisallowedEventsMonotoneInStrength(t *testing.T) {
+	// The disallowed set of a stronger type contains... note: type-1 and
+	// type-2 are incomparable as sets (type-2 adds same-address reads but
+	// drops other-address writes), but type-3's set is contained in both.
+	x, pair, _, _, _, _ := disallowedFixture(t)
+	set := func(typ AtomicityType) map[int]bool {
+		m := map[int]bool{}
+		for _, i := range DisallowedEvents(typ, x, pair) {
+			m[i] = true
+		}
+		return m
+	}
+	d1, d2, d3 := set(Type1), set(Type2), set(Type3)
+	for i := range d3 {
+		if !d1[i] {
+			t.Errorf("type-3 disallows event %d that type-1 allows", i)
+		}
+		if !d2[i] {
+			t.Errorf("type-3 disallows event %d that type-2 allows", i)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"repro/internal/memmodel"
+)
+
+// ExistsWitnessOrder is a brute-force decision procedure for validity: it
+// reports whether there exists a linear extension (a candidate ghb) of
+// com ∪ ppo ∪ bar in which, for every RMW, no disallowed event appears
+// between the read and write halves. This is the paper's definition applied
+// literally, with no derived ato edges, and serves as the correctness oracle
+// for DeriveAto.
+//
+// The search enumerates linear extensions incrementally and prunes branches
+// as soon as a disallowed event is placed inside an "open" RMW (one whose Ra
+// has been emitted but whose Wa has not). The uniproc condition is checked
+// up front. Only suitable for litmus-sized executions.
+func ExistsWitnessOrder(x *memmodel.Execution, t AtomicityType) bool {
+	if !x.Uniproc() {
+		return false
+	}
+	order, ok := FindWitnessOrder(x, t)
+	return ok && order != nil
+}
+
+// FindWitnessOrder returns one linear extension of com ∪ ppo ∪ bar that
+// satisfies the atomicity constraints of type t, or (nil, false) if none
+// exists. The uniproc condition is not checked here; use ExistsWitnessOrder
+// for the full validity oracle.
+func FindWitnessOrder(x *memmodel.Execution, t AtomicityType) ([]*memmodel.Event, bool) {
+	n := len(x.Events)
+	base := x.BaseOrder()
+
+	// Predecessor counts for Kahn-style incremental linearization.
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, pr := range base.Pairs() {
+		indeg[pr[1]]++
+		succ[pr[0]] = append(succ[pr[0]], pr[1])
+	}
+
+	pairs := RMWPairs(x)
+	// For each event, which RMW pair (index into pairs) it is the read or
+	// write half of, or -1.
+	readOf := make([]int, n)
+	writeOf := make([]int, n)
+	for i := range readOf {
+		readOf[i] = -1
+		writeOf[i] = -1
+	}
+	for pi, p := range pairs {
+		readOf[p.Read] = pi
+		writeOf[p.Write] = pi
+	}
+	// disallowedBy[m] lists the pair indices that forbid m between their
+	// halves.
+	disallowedBy := make([][]int, n)
+	for pi, p := range pairs {
+		for _, m := range DisallowedEvents(t, x, p) {
+			disallowedBy[m] = append(disallowedBy[m], pi)
+		}
+	}
+
+	placed := make([]bool, n)
+	open := make([]bool, len(pairs)) // Ra emitted, Wa not yet
+	result := make([]int, 0, n)
+
+	var rec func() bool
+	rec = func() bool {
+		if len(result) == n {
+			return true
+		}
+		for v := 0; v < n; v++ {
+			if placed[v] || indeg[v] != 0 {
+				continue
+			}
+			// Placing v now puts it after every already-placed event and
+			// before every unplaced one. Reject if v is disallowed inside an
+			// open RMW.
+			blocked := false
+			for _, pi := range disallowedBy[v] {
+				if open[pi] {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			// Place v.
+			placed[v] = true
+			result = append(result, v)
+			if pi := readOf[v]; pi >= 0 {
+				open[pi] = true
+			}
+			if pi := writeOf[v]; pi >= 0 {
+				open[pi] = false
+			}
+			for _, s := range succ[v] {
+				indeg[s]--
+			}
+			if rec() {
+				return true
+			}
+			// Undo.
+			for _, s := range succ[v] {
+				indeg[s]++
+			}
+			if pi := readOf[v]; pi >= 0 {
+				open[pi] = false
+			}
+			if pi := writeOf[v]; pi >= 0 {
+				open[pi] = true
+			}
+			result = result[:len(result)-1]
+			placed[v] = false
+		}
+		return false
+	}
+
+	if !rec() {
+		return nil, false
+	}
+	out := make([]*memmodel.Event, n)
+	for i, id := range result {
+		out[i] = x.Events[id]
+	}
+	return out, true
+}

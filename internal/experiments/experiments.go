@@ -1,0 +1,160 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation:
+//
+//   - Table 1: which RMW atomicity type supports which synchronization
+//     idiom (model checking of the litmus suite plus the C/C++11 mapping
+//     validation);
+//   - Table 2: the architectural parameters of the simulated platform;
+//   - Table 3: benchmark characteristics (RMW density, unique RMWs,
+//     write-buffer drains for type-2/3, broadcast rate);
+//   - Table 4: the C/C++11-to-x86 mappings and their soundness per RMW
+//     type;
+//   - Fig. 11(a): the per-RMW cost split into write-buffer and Ra/Wa
+//     components for type-1/2/3;
+//   - Fig. 11(b): the execution-time overhead of RMWs per benchmark and
+//     RMW type;
+//   - the headline summary (cost reductions and overall speedups).
+//
+// Absolute cycle counts differ from the paper (the substrate is the
+// simulator of internal/sim, not the authors' GEM5 testbed), but the shapes
+// the paper reports -- who wins, by roughly what factor, and where the
+// benefits concentrate -- are reproduced. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Cores is the number of simulated cores (the paper uses 32).
+	Cores int
+	// Scale multiplies each benchmark's iteration count; values below 1
+	// shrink runs for quick smoke tests and benchmarks.
+	Scale float64
+	// Seed drives the workload generators.
+	Seed int64
+	// Config overrides the base architectural parameters; the RMW type is
+	// set per run by the harness.
+	Config *sim.Config
+}
+
+// DefaultOptions reproduce the paper's setup (32 cores, full workloads).
+func DefaultOptions() Options {
+	return Options{Cores: 32, Scale: 1.0, Seed: 20130601}
+}
+
+// QuickOptions shrink the runs for tests and `go test -bench`: fewer cores
+// and shorter workloads, same structure.
+func QuickOptions() Options {
+	return Options{Cores: 8, Scale: 0.25, Seed: 20130601}
+}
+
+// BaseConfig returns the architectural configuration the options describe
+// (Table 2 plus any overrides); the RMW type is set per run by the harness.
+func (o Options) BaseConfig() sim.Config {
+	return o.baseConfig()
+}
+
+// baseConfig returns the architectural configuration for the options.
+func (o Options) baseConfig() sim.Config {
+	var cfg sim.Config
+	if o.Config != nil {
+		cfg = *o.Config
+	} else {
+		cfg = sim.DefaultConfig()
+	}
+	if o.Cores > 0 {
+		cfg = cfg.WithCores(o.Cores)
+	}
+	return cfg
+}
+
+// scaled returns a copy of the profile with its iteration count scaled.
+func (o Options) scaled(p workload.Profile) workload.Profile {
+	if o.Scale > 0 && o.Scale != 1.0 {
+		n := int(float64(p.Iterations) * o.Scale)
+		if n < 8 {
+			n = 8
+		}
+		p.Iterations = n
+	}
+	return p
+}
+
+// BenchmarkRun holds the three per-type simulation results for one
+// benchmark, the unit of data behind Table 3 and Fig. 11.
+type BenchmarkRun struct {
+	Profile workload.Profile
+	// Variant is the wsq replacement variant (none for the Table 3 set).
+	Variant workload.Replacement
+	// Name is the trace name ("bayes", "wsq-mst_rr", ...).
+	Name string
+	// ByType maps each RMW atomicity type to its simulation result.
+	ByType map[core.AtomicityType]*sim.Result
+}
+
+// Result returns the run for one RMW type.
+func (b *BenchmarkRun) Result(t core.AtomicityType) *sim.Result { return b.ByType[t] }
+
+// runBenchmark simulates one profile (with optional replacement variant)
+// under the given RMW types.
+func runBenchmark(o Options, p workload.Profile, variant workload.Replacement, types []core.AtomicityType) (*BenchmarkRun, error) {
+	gen := workload.Generator{Cores: o.Cores, Seed: o.Seed, Replacement: variant}
+	trace, err := gen.Generate(o.scaled(p))
+	if err != nil {
+		return nil, err
+	}
+	run := &BenchmarkRun{Profile: p, Variant: variant, Name: trace.Name, ByType: map[core.AtomicityType]*sim.Result{}}
+	for _, t := range types {
+		s, err := sim.New(o.baseConfig().WithRMWType(t))
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s under %s: %w", trace.Name, t, err)
+		}
+		if res.Deadlocked {
+			return nil, fmt.Errorf("experiments: %s under %s deadlocked", trace.Name, t)
+		}
+		run.ByType[t] = res
+	}
+	return run, nil
+}
+
+// RunTable3Benchmarks simulates the seven Table 3 benchmarks under all
+// three RMW types. The result feeds Table 3 and Fig. 11(a)/(b).
+func RunTable3Benchmarks(o Options) ([]*BenchmarkRun, error) {
+	var out []*BenchmarkRun
+	for _, p := range workload.Table3Profiles() {
+		run, err := runBenchmark(o, p, workload.NoReplacement, core.AllTypes())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// RunCpp11Benchmarks simulates the wsq-mst C/C++11 variants: write
+// replacement (wsq-mst_wr) under type-1 and type-2, and read replacement
+// (wsq-mst_rr) under all three types -- type-3 RMWs cannot be used for
+// write replacement (§2.5), so that combination is intentionally absent.
+func RunCpp11Benchmarks(o Options) ([]*BenchmarkRun, error) {
+	wsq := workload.WSQProfile()
+	wr, err := runBenchmark(o, wsq, workload.WriteReplacement, []core.AtomicityType{core.Type1, core.Type2})
+	if err != nil {
+		return nil, err
+	}
+	rr, err := runBenchmark(o, wsq, workload.ReadReplacement, core.AllTypes())
+	if err != nil {
+		return nil, err
+	}
+	return []*BenchmarkRun{wr, rr}, nil
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig11aEntry is one benchmark's bar group in Fig. 11(a): the average
+// per-RMW cost split into write-buffer and Ra/Wa components, for each RMW
+// type.
+type Fig11aEntry struct {
+	Benchmark string
+	// WriteBuffer and RaWa are indexed by atomicity type.
+	WriteBuffer map[core.AtomicityType]float64
+	RaWa        map[core.AtomicityType]float64
+}
+
+// Total returns the total average RMW cost for one type.
+func (e Fig11aEntry) Total(t core.AtomicityType) float64 {
+	return e.WriteBuffer[t] + e.RaWa[t]
+}
+
+// Fig11bEntry is one benchmark's bar group in Fig. 11(b): the share of
+// execution time spent on RMWs, per RMW type.
+type Fig11bEntry struct {
+	Benchmark string
+	Overhead  map[core.AtomicityType]float64
+	// Cycles records the total execution time per type, from which the
+	// headline end-to-end speedups are derived.
+	Cycles map[core.AtomicityType]uint64
+}
+
+// Speedup returns the percentage reduction in execution time of the given
+// type relative to type-1.
+func (e Fig11bEntry) Speedup(t core.AtomicityType) float64 {
+	base := float64(e.Cycles[core.Type1])
+	if base == 0 {
+		return 0
+	}
+	return stats.PercentReduction(base, float64(e.Cycles[t]))
+}
+
+// Fig11FromRuns derives the Fig. 11(a) and Fig. 11(b) data from benchmark
+// runs (the Table 3 set plus the wsq-mst C/C++11 variants).
+func Fig11FromRuns(runs []*BenchmarkRun) ([]Fig11aEntry, []Fig11bEntry) {
+	var a []Fig11aEntry
+	var b []Fig11bEntry
+	for _, run := range runs {
+		ae := Fig11aEntry{
+			Benchmark:   run.Name,
+			WriteBuffer: map[core.AtomicityType]float64{},
+			RaWa:        map[core.AtomicityType]float64{},
+		}
+		be := Fig11bEntry{
+			Benchmark: run.Name,
+			Overhead:  map[core.AtomicityType]float64{},
+			Cycles:    map[core.AtomicityType]uint64{},
+		}
+		for typ, res := range run.ByType {
+			wb, rw, _ := res.AvgRMWCost()
+			ae.WriteBuffer[typ] = wb
+			ae.RaWa[typ] = rw
+			be.Overhead[typ] = res.RMWOverheadPercent()
+			be.Cycles[typ] = res.Cycles
+		}
+		a = append(a, ae)
+		b = append(b, be)
+	}
+	return a, b
+}
+
+// RenderFig11a renders the Fig. 11(a) data as a table plus a bar chart of
+// the total per-RMW cost.
+func RenderFig11a(entries []Fig11aEntry) string {
+	t := stats.NewTable("Fig. 11(a): cost of type-1/2/3 RMWs (cycles, split write-buffer + Ra/Wa)",
+		"Benchmark",
+		"t1 WB", "t1 Ra/Wa", "t1 total",
+		"t2 WB", "t2 Ra/Wa", "t2 total",
+		"t3 WB", "t3 Ra/Wa", "t3 total",
+		"t2 vs t1", "t3 vs t1")
+	series := map[core.AtomicityType]*stats.Series{
+		core.Type1: {Name: "type-1"},
+		core.Type2: {Name: "type-2"},
+		core.Type3: {Name: "type-3"},
+	}
+	for _, e := range entries {
+		cells := []string{e.Benchmark}
+		for _, typ := range core.AllTypes() {
+			cells = append(cells,
+				stats.F1(e.WriteBuffer[typ]), stats.F1(e.RaWa[typ]), stats.F1(e.Total(typ)))
+			if s, ok := series[typ]; ok && e.Total(typ) > 0 {
+				s.Add(e.Benchmark, e.Total(typ))
+			}
+		}
+		cells = append(cells,
+			"-"+stats.Percent(stats.PercentReduction(e.Total(core.Type1), e.Total(core.Type2))),
+			"-"+stats.Percent(stats.PercentReduction(e.Total(core.Type1), e.Total(core.Type3))))
+		t.AddRow(cells...)
+	}
+	chart := stats.Chart("Average RMW cost (cycles)", 40,
+		*series[core.Type1], *series[core.Type2], *series[core.Type3])
+	return t.Render() + "\n" + chart
+}
+
+// RenderFig11b renders the Fig. 11(b) data.
+func RenderFig11b(entries []Fig11bEntry) string {
+	t := stats.NewTable("Fig. 11(b): execution-time overhead of RMWs (% of total execution time)",
+		"Benchmark", "type-1", "type-2", "type-3", "speedup t2", "speedup t3")
+	s1 := stats.Series{Name: "type-1"}
+	s2 := stats.Series{Name: "type-2"}
+	s3 := stats.Series{Name: "type-3"}
+	for _, e := range entries {
+		row := []string{e.Benchmark}
+		for _, typ := range core.AllTypes() {
+			if _, ok := e.Overhead[typ]; ok {
+				row = append(row, stats.F2(e.Overhead[typ]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		row = append(row, stats.Percent(e.Speedup(core.Type2)))
+		if _, ok := e.Cycles[core.Type3]; ok {
+			row = append(row, stats.Percent(e.Speedup(core.Type3)))
+		} else {
+			row = append(row, "-")
+		}
+		t.AddRow(row...)
+		s1.Add(e.Benchmark, e.Overhead[core.Type1])
+		s2.Add(e.Benchmark, e.Overhead[core.Type2])
+		if v, ok := e.Overhead[core.Type3]; ok {
+			s3.Add(e.Benchmark, v)
+		} else {
+			s3.Add(e.Benchmark, 0)
+		}
+	}
+	chart := stats.Chart("RMW overhead (% of execution time)", 40, s1, s2, s3)
+	return t.Render() + "\n" + chart
+}
+
+// Summary condenses the headline claims of the paper's abstract: the range
+// of per-RMW cost reductions of type-2 and type-3 over type-1, the largest
+// end-to-end improvement, and the average share of type-1 RMW cost spent on
+// the write-buffer drain.
+type Summary struct {
+	Type2CostReductionMin float64
+	Type2CostReductionMax float64
+	Type3CostReductionMin float64
+	Type3CostReductionMax float64
+	MaxSpeedupType2       float64
+	MaxSpeedupType3       float64
+	AvgType1DrainShare    float64
+}
+
+// Summarize derives the headline numbers from the Fig. 11 data.
+func Summarize(a []Fig11aEntry, b []Fig11bEntry) Summary {
+	s := Summary{
+		Type2CostReductionMin: 100,
+		Type3CostReductionMin: 100,
+	}
+	var drainShareSum float64
+	var drainShareCount int
+	for _, e := range a {
+		t1 := e.Total(core.Type1)
+		if t1 <= 0 {
+			continue
+		}
+		r2 := stats.PercentReduction(t1, e.Total(core.Type2))
+		if r2 < s.Type2CostReductionMin {
+			s.Type2CostReductionMin = r2
+		}
+		if r2 > s.Type2CostReductionMax {
+			s.Type2CostReductionMax = r2
+		}
+		if t3, ok := e.RaWa[core.Type3]; ok && t3+e.WriteBuffer[core.Type3] > 0 {
+			r3 := stats.PercentReduction(t1, e.Total(core.Type3))
+			if r3 < s.Type3CostReductionMin {
+				s.Type3CostReductionMin = r3
+			}
+			if r3 > s.Type3CostReductionMax {
+				s.Type3CostReductionMax = r3
+			}
+		}
+		drainShareSum += 100 * e.WriteBuffer[core.Type1] / t1
+		drainShareCount++
+	}
+	if drainShareCount > 0 {
+		s.AvgType1DrainShare = drainShareSum / float64(drainShareCount)
+	}
+	for _, e := range b {
+		if v := e.Speedup(core.Type2); v > s.MaxSpeedupType2 {
+			s.MaxSpeedupType2 = v
+		}
+		if _, ok := e.Cycles[core.Type3]; ok {
+			if v := e.Speedup(core.Type3); v > s.MaxSpeedupType3 {
+				s.MaxSpeedupType3 = v
+			}
+		}
+	}
+	return s
+}
+
+// Render renders the summary alongside the paper's headline numbers.
+func (s Summary) Render() string {
+	var b strings.Builder
+	b.WriteString("Headline summary (measured vs paper):\n")
+	fmt.Fprintf(&b, "  type-2 RMW cost reduction: %.1f%%..%.1f%% (paper: 38.6%%..58.9%%)\n",
+		s.Type2CostReductionMin, s.Type2CostReductionMax)
+	fmt.Fprintf(&b, "  type-3 RMW cost reduction: up to %.1f%% (paper: up to 64.3%%)\n",
+		s.Type3CostReductionMax)
+	fmt.Fprintf(&b, "  best end-to-end improvement, type-2: %.1f%% (paper: up to 9.0%%)\n", s.MaxSpeedupType2)
+	fmt.Fprintf(&b, "  best end-to-end improvement, type-3: %.1f%% (paper: up to 9.2%%)\n", s.MaxSpeedupType3)
+	fmt.Fprintf(&b, "  write-buffer share of type-1 RMW cost: %.1f%% (paper: 58.0%% on average)\n", s.AvgType1DrainShare)
+	return b.String()
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpp11"
+	"repro/internal/litmus"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Table1Row is one row of the paper's Table 1: the synchronization idioms
+// one atomicity type supports.
+type Table1Row struct {
+	Atomicity core.AtomicityType
+	// DekkerReads: Dekker's with reads replaced by RMWs works.
+	DekkerReads bool
+	// DekkerWrites: Dekker's with writes replaced by RMWs works.
+	DekkerWrites bool
+	// RMWAsBarrier: an RMW to an unrelated address orders like mfence.
+	RMWAsBarrier bool
+	// CppReadReplacement: C/C++11 is implementable by mapping SC-atomic
+	// reads to RMWs.
+	CppReadReplacement bool
+	// CppWriteReplacement: C/C++11 is implementable by mapping SC-atomic
+	// writes to RMWs.
+	CppWriteReplacement bool
+}
+
+// RunTable1 regenerates Table 1 by model checking the paper's litmus tests
+// (Dekker variants) and validating the C/C++11 mappings.
+func RunTable1() ([]Table1Row, error) {
+	var rows []Table1Row
+	readRep := litmus.DekkerReadReplacement()
+	writeRep := litmus.DekkerWriteReplacement()
+	barrier := litmus.DekkerRMWBarrierDifferentAddr()
+	scSB := cpp11.SCStoreBuffering()
+
+	for _, typ := range core.AllTypes() {
+		row := Table1Row{Atomicity: typ}
+
+		// An idiom "works" when the mutual-exclusion-failure outcome is
+		// forbidden (the litmus condition does NOT hold).
+		r, err := readRep.Run(typ)
+		if err != nil {
+			return nil, err
+		}
+		row.DekkerReads = !r.Holds
+
+		w, err := writeRep.Run(typ)
+		if err != nil {
+			return nil, err
+		}
+		row.DekkerWrites = !w.Holds
+
+		b, err := barrier.Run(typ)
+		if err != nil {
+			return nil, err
+		}
+		row.RMWAsBarrier = !b.Holds
+
+		rm, err := cpp11.ValidateMapping(scSB, cpp11.ReadMapping, typ)
+		if err != nil {
+			return nil, err
+		}
+		row.CppReadReplacement = rm.Sound
+
+		wm, err := cpp11.ValidateMapping(scSB, cpp11.WriteMapping, typ)
+		if err != nil {
+			return nil, err
+		}
+		row.CppWriteReplacement = wm.Sound
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1Expected returns the paper's Table 1 for comparison.
+func Table1Expected() []Table1Row {
+	return []Table1Row{
+		{Atomicity: core.Type1, DekkerReads: true, DekkerWrites: true, RMWAsBarrier: true, CppReadReplacement: true, CppWriteReplacement: true},
+		{Atomicity: core.Type2, DekkerReads: true, DekkerWrites: true, RMWAsBarrier: false, CppReadReplacement: true, CppWriteReplacement: true},
+		{Atomicity: core.Type3, DekkerReads: true, DekkerWrites: false, RMWAsBarrier: false, CppReadReplacement: true, CppWriteReplacement: false},
+	}
+}
+
+// RenderTable1 renders Table 1 rows in the paper's layout.
+func RenderTable1(rows []Table1Row) string {
+	t := stats.NewTable("Table 1: conventional RMW (type-1) vs proposed RMWs (type-2, type-3)",
+		"Atomicity", "Dekker reads->RMW", "Dekker writes->RMW", "RMW as barrier", "C++11 SC-reads->RMW", "C++11 SC-writes->RMW")
+	for _, r := range rows {
+		t.AddRow(r.Atomicity.String(),
+			stats.Mark(r.DekkerReads), stats.Mark(r.DekkerWrites), stats.Mark(r.RMWAsBarrier),
+			stats.Mark(r.CppReadReplacement), stats.Mark(r.CppWriteReplacement))
+	}
+	return t.Render()
+}
+
+// RenderTable2 renders the architectural parameters (Table 2).
+func RenderTable2(cfg sim.Config) string {
+	t := stats.NewTable("Table 2: architectural parameters", "Component", "Configuration")
+	for _, row := range cfg.Table2() {
+		t.AddRow(row[0], row[1])
+	}
+	return t.Render()
+}
+
+// Table3Row is one row of Table 3: per-benchmark characteristics.
+type Table3Row struct {
+	Name  string
+	Suite string
+	Size  string
+	// RMWsPer1000 is the measured RMW density; PaperRMWsPer1000 is the
+	// value the paper reports.
+	RMWsPer1000      float64
+	PaperRMWsPer1000 float64
+	// UniquePct is the measured fraction of RMWs to unique lines.
+	UniquePct      float64
+	PaperUniquePct float64
+	// DrainPct is the measured fraction of type-2/3 RMWs that reverted to
+	// a write-buffer drain.
+	DrainPct float64
+	// BroadcastsPer100 is the measured addr-list broadcast rate.
+	BroadcastsPer100 float64
+}
+
+// Table3FromRuns derives Table 3 from the benchmark runs: the density and
+// unique fraction are structural (identical across types); the drain and
+// broadcast rates come from the type-2 runs.
+func Table3FromRuns(runs []*BenchmarkRun) []Table3Row {
+	var rows []Table3Row
+	for _, run := range runs {
+		t2 := run.Result(core.Type2)
+		rows = append(rows, Table3Row{
+			Name:             run.Name,
+			Suite:            run.Profile.Suite,
+			Size:             run.Profile.ProblemSize,
+			RMWsPer1000:      t2.RMWsPer1000MemOps(),
+			PaperRMWsPer1000: run.Profile.PaperRMWsPer1000,
+			UniquePct:        t2.UniqueRMWPercent(),
+			PaperUniquePct:   run.Profile.PaperUniquePct,
+			DrainPct:         t2.RevertPercent(),
+			BroadcastsPer100: t2.BroadcastsPer100RMWs(),
+		})
+	}
+	return rows
+}
+
+// RenderTable3 renders Table 3 rows, including the paper's reference values
+// for the structural columns.
+func RenderTable3(rows []Table3Row) string {
+	t := stats.NewTable("Table 3: benchmark characteristics (measured vs paper)",
+		"Code", "Suite", "Problem size",
+		"RMWs/1000 memops", "(paper)",
+		"% unique RMWs", "(paper)",
+		"% WB drains type-2/3", "RMW broadcasts/100")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Suite, r.Size,
+			stats.F2(r.RMWsPer1000), stats.F2(r.PaperRMWsPer1000),
+			stats.F2(r.UniquePct), stats.F2(r.PaperUniquePct),
+			stats.F2(r.DrainPct), stats.F2(r.BroadcastsPer100))
+	}
+	return t.Render()
+}
+
+// Table4Row is one row of the Table 4 mapping validation: which mappings
+// are sound under which RMW type, checked on the SC store-buffering
+// program.
+type Table4Row struct {
+	Mapping   cpp11.Mapping
+	Atomicity core.AtomicityType
+	Sound     bool
+	// Counterexample is the first forbidden outcome that the compiled
+	// program allows, for unsound combinations.
+	Counterexample string
+}
+
+// RunTable4 validates every Table 4 mapping under every RMW type.
+func RunTable4() ([]Table4Row, error) {
+	var rows []Table4Row
+	p := cpp11.SCStoreBuffering()
+	for _, m := range cpp11.AllMappings() {
+		for _, typ := range core.AllTypes() {
+			res, err := cpp11.ValidateMapping(p, m, typ)
+			if err != nil {
+				return nil, err
+			}
+			row := Table4Row{Mapping: m, Atomicity: typ, Sound: res.Sound}
+			if len(res.Counterexamples) > 0 {
+				row.Counterexample = res.Counterexamples[0]
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable4 renders the mapping-validation matrix together with the
+// instruction selection of each mapping.
+func RenderTable4(rows []Table4Row) string {
+	sel := stats.NewTable("Table 4: mapping from C/C++11 to x86",
+		"Mapping", "SC read", "SC write", "non-SC read", "non-SC write")
+	for _, m := range cpp11.AllMappings() {
+		scRead, scWrite := "mov", "mov"
+		if m.MapsSCLoadToRMW() {
+			scRead = "lock xadd(0)"
+		}
+		if m.MapsSCStoreToRMW() {
+			scWrite = "lock xchg"
+		}
+		sel.AddRow(m.String(), scRead, scWrite, "mov", "mov")
+	}
+	val := stats.NewTable("Mapping soundness per RMW atomicity type (SC store buffering)",
+		"Mapping", "Atomicity", "Sound", "Counterexample")
+	for _, r := range rows {
+		val.AddRow(r.Mapping.String(), r.Atomicity.String(), stats.Mark(r.Sound), r.Counterexample)
+	}
+	return sel.Render() + "\n" + val.Render()
+}
+
+// CheckTable1Matches compares generated Table 1 rows against the paper's
+// and returns an error describing the first mismatch, if any.
+func CheckTable1Matches(got []Table1Row) error {
+	want := Table1Expected()
+	if len(got) != len(want) {
+		return fmt.Errorf("experiments: Table 1 has %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("experiments: Table 1 row for %s is %+v, paper says %+v",
+				want[i].Atomicity, got[i], want[i])
+		}
+	}
+	return nil
+}

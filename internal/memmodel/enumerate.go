@@ -1,0 +1,322 @@
+package memmodel
+
+import "fmt"
+
+// Enumerate generates all candidate executions of a litmus program: every
+// combination of a reads-from map (each read may read from any write to
+// the same location, including the initial write, but not from the write
+// half of its own RMW) and a per-location write serialization (every
+// permutation of the non-initial writes, with the initial write first).
+//
+// Values are then propagated: plain writes keep their program value and
+// RMW writes receive Modify(value read by their read half). Candidates
+// whose value propagation does not converge (cyclic value dependencies
+// through RMWs) are dropped.
+//
+// The returned executions are candidates only: callers must still filter
+// by validity (Execution.BaseValid for the base model, or the RMW-aware
+// check in internal/core).
+func Enumerate(p *Program) ([]*Execution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	events, err := buildEvents(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group writes and reads by location.
+	writesByAddr := map[Addr][]int{}
+	var reads []int
+	for _, e := range events {
+		if e.IsWrite() {
+			writesByAddr[e.Addr] = append(writesByAddr[e.Addr], e.Index)
+		}
+		if e.IsRead() {
+			reads = append(reads, e.Index)
+		}
+	}
+
+	// Enumerate rf choices: for each read, the set of candidate source
+	// writes.
+	choices := make([][]int, len(reads))
+	for i, rd := range reads {
+		r := events[rd]
+		for _, w := range writesByAddr[r.Addr] {
+			if events[w].SameRMW(r) {
+				continue // Ra never reads from its own Wa
+			}
+			choices[i] = append(choices[i], w)
+		}
+		if len(choices[i]) == 0 {
+			return nil, fmt.Errorf("memmodel: read %s has no candidate writes", r)
+		}
+	}
+
+	// Enumerate ws choices: per location, the initial write followed by
+	// every permutation of the remaining writes.
+	addrs := p.Addrs()
+	wsChoices := make([][][]int, len(addrs))
+	for i, a := range addrs {
+		var init int = -1
+		var rest []int
+		for _, w := range writesByAddr[a] {
+			if events[w].IsInit() {
+				init = w
+			} else {
+				rest = append(rest, w)
+			}
+		}
+		perms := permutations(rest)
+		for _, perm := range perms {
+			order := append([]int{init}, perm...)
+			wsChoices[i] = append(wsChoices[i], order)
+		}
+	}
+
+	var out []*Execution
+	rfAssign := make([]int, len(reads))
+	wsAssign := make([]int, len(addrs))
+
+	var rec func(level int)
+	buildWS := func() map[Addr][]int {
+		ws := map[Addr][]int{}
+		for i, a := range addrs {
+			order := wsChoices[i][wsAssign[i]]
+			cp := make([]int, len(order))
+			copy(cp, order)
+			ws[a] = cp
+		}
+		return ws
+	}
+	var recWS func(level int)
+	recWS = func(level int) {
+		if level == len(addrs) {
+			exec := assemble(p, events, reads, rfAssign, buildWS())
+			if exec != nil {
+				out = append(out, exec)
+			}
+			return
+		}
+		for i := range wsChoices[level] {
+			wsAssign[level] = i
+			recWS(level + 1)
+		}
+	}
+	rec = func(level int) {
+		if level == len(reads) {
+			recWS(0)
+			return
+		}
+		for _, w := range choices[level] {
+			rfAssign[level] = w
+			rec(level + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// CountCandidates returns the number of candidate executions Enumerate
+// would generate for the program, without materializing them. Useful for
+// bounding litmus-test cost.
+func CountCandidates(p *Program) (int, error) {
+	events, err := buildEvents(p)
+	if err != nil {
+		return 0, err
+	}
+	writesByAddr := map[Addr][]int{}
+	nonInitWrites := map[Addr]int{}
+	var readChoices int = 1
+	for _, e := range events {
+		if e.IsWrite() {
+			writesByAddr[e.Addr] = append(writesByAddr[e.Addr], e.Index)
+			if !e.IsInit() {
+				nonInitWrites[e.Addr]++
+			}
+		}
+	}
+	for _, e := range events {
+		if e.IsRead() {
+			c := 0
+			for _, w := range writesByAddr[e.Addr] {
+				if !events[w].SameRMW(e) {
+					c++
+				}
+			}
+			readChoices *= c
+		}
+	}
+	wsChoices := 1
+	for _, k := range nonInitWrites {
+		wsChoices *= factorial(k)
+	}
+	return readChoices * wsChoices, nil
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// buildEvents constructs the event templates for a program: one initial
+// write per accessed location followed by the events of each thread in
+// program order (RMW instructions contribute a read and a write event
+// sharing an RMW identifier).
+func buildEvents(p *Program) ([]*Event, error) {
+	var events []*Event
+	idx := 0
+	add := func(e *Event) *Event {
+		e.Index = idx
+		idx++
+		events = append(events, e)
+		return e
+	}
+	for _, a := range p.Addrs() {
+		v := Value(0)
+		if iv, ok := p.Init[a]; ok {
+			v = iv
+		}
+		add(&Event{Thread: InitThread, Kind: KindInit, Addr: a, Value: v, PO: 0, RMW: -1})
+	}
+	rmwID := 0
+	for ti, t := range p.Threads {
+		for ii, in := range t {
+			switch in.Kind {
+			case InstrRead:
+				add(&Event{Thread: ThreadID(ti), Kind: KindRead, Addr: in.Addr, PO: ii, RMW: -1, Label: in.Reg})
+			case InstrWrite:
+				add(&Event{Thread: ThreadID(ti), Kind: KindWrite, Addr: in.Addr, Value: in.Value, PO: ii, RMW: -1})
+			case InstrFence:
+				add(&Event{Thread: ThreadID(ti), Kind: KindFence, PO: ii, RMW: -1})
+			case InstrRMW:
+				add(&Event{Thread: ThreadID(ti), Kind: KindRMWRead, Addr: in.Addr, PO: ii, RMW: rmwID, Label: in.Reg})
+				add(&Event{Thread: ThreadID(ti), Kind: KindRMWWrite, Addr: in.Addr, PO: ii, RMW: rmwID})
+				rmwID++
+			default:
+				return nil, fmt.Errorf("memmodel: unknown instruction kind %d", int(in.Kind))
+			}
+		}
+	}
+	return events, nil
+}
+
+// assemble builds an Execution for a specific rf and ws assignment,
+// propagating values. It returns nil if value propagation fails to
+// converge (cyclic RMW value dependency), which corresponds to no
+// consistent assignment of values.
+func assemble(p *Program, template []*Event, reads []int, rfAssign []int, ws map[Addr][]int) *Execution {
+	// Deep copy events so each execution owns its values.
+	events := make([]*Event, len(template))
+	for i, e := range template {
+		cp := *e
+		events[i] = &cp
+	}
+	rf := map[int]int{}
+	for i, rd := range reads {
+		rf[rd] = rfAssign[i]
+	}
+
+	// Map RMW write events back to their Modify functions.
+	modify := map[int]ModifyFunc{}
+	rmwReadOf := map[int]int{} // write index -> read index of the same RMW
+	rmwID := 0
+	for ti, t := range p.Threads {
+		for ii, in := range t {
+			if in.Kind != InstrRMW {
+				continue
+			}
+			// Locate the two events for this RMW.
+			var rdIdx, wrIdx int = -1, -1
+			for _, e := range events {
+				if e.Thread == ThreadID(ti) && e.PO == ii && e.RMW == rmwID {
+					if e.Kind == KindRMWRead {
+						rdIdx = e.Index
+					} else if e.Kind == KindRMWWrite {
+						wrIdx = e.Index
+					}
+				}
+			}
+			if rdIdx < 0 || wrIdx < 0 {
+				return nil
+			}
+			m := in.Modify
+			if m == nil {
+				v := in.Value
+				m = func(Value) Value { return v }
+			}
+			modify[wrIdx] = m
+			rmwReadOf[wrIdx] = rdIdx
+			rmwID++
+		}
+	}
+
+	// Value propagation: read values come from their rf source; RMW write
+	// values come from applying Modify to the read value. Iterate to a
+	// fixpoint (chains of RMWs reading from RMW writes converge in at most
+	// len(events) rounds; cycles never converge and are rejected).
+	determined := map[int]bool{}
+	for _, e := range events {
+		if e.IsWrite() && modify[e.Index] == nil {
+			determined[e.Index] = true // plain or initial write: value fixed
+		}
+	}
+	for round := 0; round <= len(events); round++ {
+		changed := false
+		for _, rd := range reads {
+			src := rf[rd]
+			if determined[src] && !determined[rd] {
+				events[rd].Value = events[src].Value
+				determined[rd] = true
+				changed = true
+			}
+		}
+		for wrIdx, m := range modify {
+			rdIdx := rmwReadOf[wrIdx]
+			if determined[rdIdx] && !determined[wrIdx] {
+				events[wrIdx].Value = m(events[rdIdx].Value)
+				determined[wrIdx] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, e := range events {
+		if (e.IsRead() || e.IsWrite()) && !determined[e.Index] {
+			return nil // value cycle through RMWs: no consistent values
+		}
+	}
+
+	return &Execution{Program: p, Events: events, RF: rf, WS: ws}
+}
+
+// permutations returns all permutations of the input slice. The input is
+// not modified. permutations(nil) returns a single empty permutation.
+func permutations(in []int) [][]int {
+	if len(in) == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var rec func(cur []int, rest []int)
+	rec = func(cur []int, rest []int) {
+		if len(rest) == 0 {
+			cp := make([]int, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for i := range rest {
+			next := make([]int, 0, len(rest)-1)
+			next = append(next, rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			rec(append(cur, rest[i]), next)
+		}
+	}
+	rec(nil, in)
+	return out
+}

@@ -1,0 +1,366 @@
+package memmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Execution is one candidate execution of a litmus program: a set of
+// events together with a reads-from map and a write serialization. The
+// derived TSO relations are computed lazily and cached.
+type Execution struct {
+	// Program is the originating program.
+	Program *Program
+	// Events holds all events, including one KindInit write per accessed
+	// location. Event.Index equals the slice index.
+	Events []*Event
+
+	// RF maps the index of each read event to the index of the write event
+	// it reads from.
+	RF map[int]int
+	// WS holds, per location, the coherence order of all writes to that
+	// location (event indices, initial write first).
+	WS map[Addr][]int
+
+	// cached relations
+	po  *Relation
+	ppo *Relation
+	bar *Relation
+	ws  *Relation
+	rf  *Relation
+	rfe *Relation
+	fr  *Relation
+	com *Relation
+}
+
+// EventsByThread returns the events of a thread in program order.
+func (x *Execution) EventsByThread(t ThreadID) []*Event {
+	var out []*Event
+	for _, e := range x.Events {
+		if e.Thread == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FindEvent returns the first event matching the predicate, or nil.
+func (x *Execution) FindEvent(pred func(*Event) bool) *Event {
+	for _, e := range x.Events {
+		if pred(e) {
+			return e
+		}
+	}
+	return nil
+}
+
+// PO returns the program-order relation: a per-thread total order over all
+// events of the same thread (memory accesses and fences). Initial writes
+// are ordered before every event of every thread.
+func (x *Execution) PO() *Relation {
+	if x.po != nil {
+		return x.po
+	}
+	n := len(x.Events)
+	r := NewRelation(n)
+	for _, a := range x.Events {
+		for _, b := range x.Events {
+			if a.Index == b.Index {
+				continue
+			}
+			if a.IsInit() && !b.IsInit() {
+				// Initial writes precede everything. They are not strictly
+				// part of po, but ordering them first keeps every derived
+				// order consistent with "locations start at their initial
+				// values".
+				r.Add(a.Index, b.Index)
+				continue
+			}
+			if a.Thread == b.Thread && a.Thread != InitThread && a.PO < b.PO {
+				r.Add(a.Index, b.Index)
+			}
+			if a.Thread == b.Thread && a.Thread != InitThread && a.PO == b.PO && a.RMW >= 0 && a.RMW == b.RMW {
+				// Within an RMW, the read precedes the write.
+				if a.Kind == KindRMWRead && b.Kind == KindRMWWrite {
+					r.Add(a.Index, b.Index)
+				}
+			}
+		}
+	}
+	x.po = r
+	return r
+}
+
+// PPO returns the preserved-program-order relation under TSO: all po pairs
+// of memory accesses except write-to-read pairs. Pairs internal to a
+// single RMW (Ra -> Wa) are preserved. Fences do not appear in ppo; their
+// effect is captured by Bar.
+func (x *Execution) PPO() *Relation {
+	if x.ppo != nil {
+		return x.ppo
+	}
+	po := x.PO()
+	n := len(x.Events)
+	r := NewRelation(n)
+	for _, a := range x.Events {
+		for _, b := range x.Events {
+			if !po.Has(a.Index, b.Index) {
+				continue
+			}
+			if a.IsInit() {
+				// Keep init-before-everything ordering in ppo so it appears
+				// in the global order.
+				r.Add(a.Index, b.Index)
+				continue
+			}
+			if !a.Kind.IsMemory() || !b.Kind.IsMemory() {
+				continue
+			}
+			// TSO relaxes only W -> R program order, but the write and read
+			// halves of one RMW stay ordered.
+			if a.IsWrite() && b.IsRead() && !a.SameRMW(b) {
+				continue
+			}
+			r.Add(a.Index, b.Index)
+		}
+	}
+	x.ppo = r
+	return r
+}
+
+// Bar returns the barrier relation: memory accesses of the same thread
+// separated in program order by a fence.
+func (x *Execution) Bar() *Relation {
+	if x.bar != nil {
+		return x.bar
+	}
+	po := x.PO()
+	n := len(x.Events)
+	r := NewRelation(n)
+	for _, f := range x.Events {
+		if !f.IsFence() {
+			continue
+		}
+		for _, a := range x.Events {
+			if !a.Kind.IsMemory() || !po.Has(a.Index, f.Index) {
+				continue
+			}
+			for _, b := range x.Events {
+				if !b.Kind.IsMemory() || !po.Has(f.Index, b.Index) {
+					continue
+				}
+				r.Add(a.Index, b.Index)
+			}
+		}
+	}
+	x.bar = r
+	return r
+}
+
+// WSRel returns the write-serialization relation derived from the
+// per-location coherence orders.
+func (x *Execution) WSRel() *Relation {
+	if x.ws != nil {
+		return x.ws
+	}
+	n := len(x.Events)
+	r := NewRelation(n)
+	for _, order := range x.WS {
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				r.Add(order[i], order[j])
+			}
+		}
+	}
+	x.ws = r
+	return r
+}
+
+// RFRel returns the reads-from relation as a Relation (write -> read).
+func (x *Execution) RFRel() *Relation {
+	if x.rf != nil {
+		return x.rf
+	}
+	n := len(x.Events)
+	r := NewRelation(n)
+	for read, write := range x.RF {
+		r.Add(write, read)
+	}
+	x.rf = r
+	return r
+}
+
+// RFE returns the external reads-from relation: rf pairs whose write and
+// read are on different threads (reads from the initial write are
+// external).
+func (x *Execution) RFE() *Relation {
+	if x.rfe != nil {
+		return x.rfe
+	}
+	n := len(x.Events)
+	r := NewRelation(n)
+	for read, write := range x.RF {
+		if x.Events[write].Thread != x.Events[read].Thread {
+			r.Add(write, read)
+		}
+	}
+	x.rfe = r
+	return r
+}
+
+// FR returns the from-reads relation: each read is ordered before every
+// write to the same location that is coherence-after the write it read
+// from.
+func (x *Execution) FR() *Relation {
+	if x.fr != nil {
+		return x.fr
+	}
+	n := len(x.Events)
+	r := NewRelation(n)
+	for read, write := range x.RF {
+		addr := x.Events[read].Addr
+		order := x.WS[addr]
+		pos := -1
+		for i, w := range order {
+			if w == write {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		for _, later := range order[pos+1:] {
+			if later != read {
+				r.Add(read, later)
+			}
+		}
+	}
+	x.fr = r
+	return r
+}
+
+// Com returns the communication relation com = ws ∪ rfe ∪ fr.
+func (x *Execution) Com() *Relation {
+	if x.com != nil {
+		return x.com
+	}
+	n := len(x.Events)
+	r := NewRelation(n)
+	r.Union(x.WSRel())
+	r.Union(x.RFE())
+	r.Union(x.FR())
+	x.com = r
+	return r
+}
+
+// POLoc returns program order restricted to pairs of accesses to the same
+// location.
+func (x *Execution) POLoc() *Relation {
+	po := x.PO()
+	n := len(x.Events)
+	r := NewRelation(n)
+	for _, a := range x.Events {
+		for _, b := range x.Events {
+			if a.Kind.IsMemory() && b.Kind.IsMemory() && a.Addr == b.Addr && po.Has(a.Index, b.Index) {
+				r.Add(a.Index, b.Index)
+			}
+		}
+	}
+	return r
+}
+
+// Uniproc reports whether the execution satisfies the uniproc (SC per
+// location) condition: program order restricted to same-location accesses
+// is consistent with com and rf.
+func (x *Execution) Uniproc() bool {
+	n := len(x.Events)
+	u := NewRelation(n)
+	u.Union(x.POLoc())
+	u.Union(x.WSRel())
+	u.Union(x.FR())
+	u.Union(x.RFRel())
+	return u.Acyclic()
+}
+
+// BaseOrder returns com ∪ ppo ∪ bar, the relation whose acyclicity defines
+// validity of the base TSO model (without RMW atomicity).
+func (x *Execution) BaseOrder() *Relation {
+	n := len(x.Events)
+	r := NewRelation(n)
+	r.Union(x.Com())
+	r.Union(x.PPO())
+	r.Union(x.Bar())
+	return r
+}
+
+// BaseValid reports whether the execution is valid in the base TSO model:
+// com ∪ ppo ∪ bar is acyclic and uniproc holds. RMW atomicity constraints
+// are checked separately by internal/core.
+func (x *Execution) BaseValid() bool {
+	return x.Uniproc() && x.BaseOrder().Acyclic()
+}
+
+// GHB returns one global-happens-before order for the execution: a linear
+// extension of the supplied order relation (typically BaseOrder possibly
+// extended with ato edges). It returns an error if the relation is cyclic.
+func (x *Execution) GHB(order *Relation) ([]*Event, error) {
+	idx, err := order.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Event, len(idx))
+	for i, id := range idx {
+		out[i] = x.Events[id]
+	}
+	return out, nil
+}
+
+// RegisterValues returns the final value of every named register: the
+// value read by the read or RMW-read event carrying that register label,
+// keyed by "P<tid>:<reg>".
+func (x *Execution) RegisterValues() map[string]Value {
+	out := map[string]Value{}
+	for _, e := range x.Events {
+		if e.IsRead() && e.Label != "" {
+			out[fmt.Sprintf("P%d:%s", int(e.Thread), e.Label)] = e.Value
+		}
+	}
+	return out
+}
+
+// FinalMemory returns the final value of every location: the value of the
+// coherence-last write.
+func (x *Execution) FinalMemory() map[Addr]Value {
+	out := map[Addr]Value{}
+	for addr, order := range x.WS {
+		if len(order) == 0 {
+			continue
+		}
+		last := order[len(order)-1]
+		out[addr] = x.Events[last].Value
+	}
+	return out
+}
+
+// String renders the execution compactly: events, rf and ws.
+func (x *Execution) String() string {
+	var b strings.Builder
+	b.WriteString("events:\n")
+	for _, e := range x.Events {
+		fmt.Fprintf(&b, "  [%d] %s\n", e.Index, e)
+	}
+	b.WriteString("rf:\n")
+	for read, write := range x.RF {
+		fmt.Fprintf(&b, "  %s -> %s\n", x.Events[write], x.Events[read])
+	}
+	b.WriteString("ws:\n")
+	for addr, order := range x.WS {
+		fmt.Fprintf(&b, "  %s:", AddrName(addr))
+		for _, w := range order {
+			fmt.Fprintf(&b, " %s", x.Events[w])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

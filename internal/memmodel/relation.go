@@ -1,0 +1,290 @@
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a binary relation over the events of a single candidate
+// execution, stored as a dense boolean adjacency matrix indexed by
+// Event.Index. Litmus-scale executions have at most a few dozen events, so
+// the dense representation is both simple and fast.
+type Relation struct {
+	n   int
+	adj []bool
+}
+
+// NewRelation returns an empty relation over n events.
+func NewRelation(n int) *Relation {
+	return &Relation{n: n, adj: make([]bool, n*n)}
+}
+
+// Size returns the number of events the relation ranges over.
+func (r *Relation) Size() int { return r.n }
+
+// Add inserts the ordered pair (from, to). Self-edges are ignored.
+func (r *Relation) Add(from, to int) {
+	if from == to {
+		return
+	}
+	r.adj[from*r.n+to] = true
+}
+
+// Has reports whether the ordered pair (from, to) is in the relation.
+func (r *Relation) Has(from, to int) bool {
+	return r.adj[from*r.n+to]
+}
+
+// Remove deletes the ordered pair (from, to).
+func (r *Relation) Remove(from, to int) {
+	r.adj[from*r.n+to] = false
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{n: r.n, adj: make([]bool, len(r.adj))}
+	copy(c.adj, r.adj)
+	return c
+}
+
+// Union adds every pair of other into r and returns r. The two relations
+// must range over the same number of events.
+func (r *Relation) Union(other *Relation) *Relation {
+	if other == nil {
+		return r
+	}
+	if other.n != r.n {
+		panic(fmt.Sprintf("memmodel: union of relations of different sizes (%d vs %d)", r.n, other.n))
+	}
+	for i, v := range other.adj {
+		if v {
+			r.adj[i] = true
+		}
+	}
+	return r
+}
+
+// UnionOf returns a fresh relation that is the union of all given
+// relations, which must all range over n events.
+func UnionOf(n int, rels ...*Relation) *Relation {
+	u := NewRelation(n)
+	for _, rel := range rels {
+		u.Union(rel)
+	}
+	return u
+}
+
+// Pairs returns all ordered pairs in the relation, sorted for determinism.
+func (r *Relation) Pairs() [][2]int {
+	var out [][2]int
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if r.Has(i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of pairs in the relation.
+func (r *Relation) Count() int {
+	c := 0
+	for _, v := range r.adj {
+		if v {
+			c++
+		}
+	}
+	return c
+}
+
+// TransitiveClosure computes the transitive closure of r in place and
+// returns r (Floyd–Warshall over booleans).
+func (r *Relation) TransitiveClosure() *Relation {
+	n := r.n
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !r.adj[i*n+k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if r.adj[k*n+j] {
+					r.adj[i*n+j] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Acyclic reports whether the relation contains no cycle. A relation with
+// a self-edge introduced by transitive closure is considered cyclic.
+func (r *Relation) Acyclic() bool {
+	// Kahn's algorithm over the (non-closed) relation: cheaper than closing
+	// and checking the diagonal, and leaves r untouched.
+	n := r.n
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Has(i, j) {
+				indeg[j]++
+			}
+		}
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for j := 0; j < n; j++ {
+			if r.Has(v, j) {
+				indeg[j]--
+				if indeg[j] == 0 {
+					queue = append(queue, j)
+				}
+			}
+		}
+	}
+	return seen == n
+}
+
+// TopoSort returns one linear extension of the relation (a total order
+// consistent with it), or an error if the relation is cyclic. Among the
+// events available at each step the one with the smallest index is chosen,
+// so the result is deterministic.
+func (r *Relation) TopoSort() ([]int, error) {
+	n := r.n
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Has(i, j) {
+				indeg[j]++
+			}
+		}
+	}
+	var order []int
+	avail := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			avail = append(avail, i)
+		}
+	}
+	for len(avail) > 0 {
+		sort.Ints(avail)
+		v := avail[0]
+		avail = avail[1:]
+		order = append(order, v)
+		for j := 0; j < n; j++ {
+			if r.Has(v, j) {
+				indeg[j]--
+				if indeg[j] == 0 {
+					avail = append(avail, j)
+				}
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("memmodel: relation is cyclic, no linear extension exists")
+	}
+	return order, nil
+}
+
+// ReachableBefore reports whether from reaches to through the relation
+// (i.e. the pair is in the transitive closure). The relation itself is not
+// modified.
+func (r *Relation) ReachableBefore(from, to int) bool {
+	if from == to {
+		return false
+	}
+	n := r.n
+	visited := make([]bool, n)
+	stack := []int{from}
+	visited[from] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < n; j++ {
+			if r.Has(v, j) && !visited[j] {
+				if j == to {
+					return true
+				}
+				visited[j] = true
+				stack = append(stack, j)
+			}
+		}
+	}
+	return false
+}
+
+// FindCycle returns one cycle in the relation as a sequence of event
+// indices (the last element reaches the first), or nil if the relation is
+// acyclic. Useful for diagnostics such as explaining why an execution is
+// forbidden.
+func (r *Relation) FindCycle() []int {
+	n := r.n
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		color[v] = gray
+		for j := 0; j < n; j++ {
+			if !r.Has(v, j) {
+				continue
+			}
+			if color[j] == gray {
+				// Found a back edge; reconstruct the cycle j -> ... -> v.
+				cycle = []int{j}
+				for u := v; u != j && u != -1; u = parent[u] {
+					cycle = append(cycle, u)
+				}
+				// Reverse to get forward order starting at j.
+				for a, b := 0, len(cycle)-1; a < b; a, b = a+1, b-1 {
+					cycle[a], cycle[b] = cycle[b], cycle[a]
+				}
+				return true
+			}
+			if color[j] == white {
+				parent[j] = v
+				if dfs(j) {
+					return true
+				}
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if color[v] == white {
+			if dfs(v) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// Format renders the relation's pairs using the supplied event slice, one
+// pair per line, for debugging and error messages.
+func (r *Relation) Format(events []*Event) string {
+	var b strings.Builder
+	for _, p := range r.Pairs() {
+		fmt.Fprintf(&b, "%s -> %s\n", events[p[0]], events[p[1]])
+	}
+	return b.String()
+}

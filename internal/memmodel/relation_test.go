@@ -1,0 +1,306 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationAddHasRemove(t *testing.T) {
+	r := NewRelation(4)
+	if r.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", r.Size())
+	}
+	if r.Has(0, 1) {
+		t.Fatal("empty relation should not contain (0,1)")
+	}
+	r.Add(0, 1)
+	if !r.Has(0, 1) {
+		t.Fatal("Add(0,1) not visible")
+	}
+	if r.Has(1, 0) {
+		t.Fatal("relation should be directional")
+	}
+	r.Remove(0, 1)
+	if r.Has(0, 1) {
+		t.Fatal("Remove(0,1) not applied")
+	}
+}
+
+func TestRelationIgnoresSelfEdges(t *testing.T) {
+	r := NewRelation(3)
+	r.Add(1, 1)
+	if r.Has(1, 1) {
+		t.Fatal("self edges must be ignored")
+	}
+	if r.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", r.Count())
+	}
+}
+
+func TestRelationCountAndPairs(t *testing.T) {
+	r := NewRelation(3)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(0, 2)
+	if r.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", r.Count())
+	}
+	pairs := r.Pairs()
+	if len(pairs) != 3 {
+		t.Fatalf("len(Pairs) = %d, want 3", len(pairs))
+	}
+	want := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	for i, p := range pairs {
+		if p != want[i] {
+			t.Errorf("Pairs[%d] = %v, want %v", i, p, want[i])
+		}
+	}
+}
+
+func TestRelationCloneIsIndependent(t *testing.T) {
+	r := NewRelation(3)
+	r.Add(0, 1)
+	c := r.Clone()
+	c.Add(1, 2)
+	if r.Has(1, 2) {
+		t.Fatal("mutating clone must not affect original")
+	}
+	if !c.Has(0, 1) {
+		t.Fatal("clone must preserve existing edges")
+	}
+}
+
+func TestRelationUnion(t *testing.T) {
+	a := NewRelation(3)
+	a.Add(0, 1)
+	b := NewRelation(3)
+	b.Add(1, 2)
+	a.Union(b)
+	if !a.Has(0, 1) || !a.Has(1, 2) {
+		t.Fatal("union missing edges")
+	}
+	u := UnionOf(3, a, b, nil)
+	if u.Count() != 2 {
+		t.Fatalf("UnionOf count = %d, want 2", u.Count())
+	}
+	// Union with nil is a no-op.
+	a.Union(nil)
+	if a.Count() != 2 {
+		t.Fatal("union with nil changed the relation")
+	}
+}
+
+func TestRelationUnionSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("union of differently sized relations should panic")
+		}
+	}()
+	NewRelation(2).Union(NewRelation(3))
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := NewRelation(4)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 3)
+	r.TransitiveClosure()
+	for _, p := range [][2]int{{0, 2}, {0, 3}, {1, 3}} {
+		if !r.Has(p[0], p[1]) {
+			t.Errorf("closure missing (%d,%d)", p[0], p[1])
+		}
+	}
+	if r.Has(3, 0) {
+		t.Error("closure added a reverse edge")
+	}
+}
+
+func TestAcyclic(t *testing.T) {
+	r := NewRelation(3)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	if !r.Acyclic() {
+		t.Fatal("chain should be acyclic")
+	}
+	r.Add(2, 0)
+	if r.Acyclic() {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestTopoSortChain(t *testing.T) {
+	r := NewRelation(4)
+	r.Add(2, 1)
+	r.Add(1, 0)
+	r.Add(0, 3)
+	order, err := r.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	pos := map[int]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, p := range r.Pairs() {
+		if pos[p[0]] >= pos[p[1]] {
+			t.Errorf("topo order violates edge (%d,%d)", p[0], p[1])
+		}
+	}
+}
+
+func TestTopoSortCyclicFails(t *testing.T) {
+	r := NewRelation(2)
+	r.Add(0, 1)
+	r.Add(1, 0)
+	if _, err := r.TopoSort(); err == nil {
+		t.Fatal("TopoSort of a cyclic relation must fail")
+	}
+}
+
+func TestReachableBefore(t *testing.T) {
+	r := NewRelation(5)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(3, 4)
+	if !r.ReachableBefore(0, 2) {
+		t.Error("0 should reach 2")
+	}
+	if r.ReachableBefore(0, 4) {
+		t.Error("0 should not reach 4")
+	}
+	if r.ReachableBefore(2, 0) {
+		t.Error("2 should not reach 0")
+	}
+	if r.ReachableBefore(1, 1) {
+		t.Error("ReachableBefore(v,v) must be false")
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	r := NewRelation(4)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 1)
+	cycle := r.FindCycle()
+	if cycle == nil {
+		t.Fatal("cycle not found")
+	}
+	// Every consecutive pair (and the wrap-around pair) must be an edge.
+	for i := range cycle {
+		from := cycle[i]
+		to := cycle[(i+1)%len(cycle)]
+		if !r.Has(from, to) {
+			t.Errorf("reported cycle uses non-edge (%d,%d)", from, to)
+		}
+	}
+	acyc := NewRelation(3)
+	acyc.Add(0, 1)
+	if acyc.FindCycle() != nil {
+		t.Error("FindCycle on acyclic relation should return nil")
+	}
+}
+
+func TestRelationFormat(t *testing.T) {
+	events := []*Event{
+		{Index: 0, Thread: 0, Kind: KindWrite, Addr: 0, Value: 1},
+		{Index: 1, Thread: 1, Kind: KindRead, Addr: 0, Value: 1},
+	}
+	r := NewRelation(2)
+	r.Add(0, 1)
+	s := r.Format(events)
+	if s == "" {
+		t.Fatal("Format returned empty string for non-empty relation")
+	}
+}
+
+// randomDAGRelation builds a random DAG by only adding edges from lower to
+// higher indices under a random permutation.
+func randomDAGRelation(rng *rand.Rand, n int) *Relation {
+	perm := rng.Perm(n)
+	r := NewRelation(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				r.Add(perm[i], perm[j])
+			}
+		}
+	}
+	return r
+}
+
+func TestPropertyTopoSortConsistentWithEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 2 + local.Intn(9)
+		r := randomDAGRelation(local, n)
+		if !r.Acyclic() {
+			return false // construction guarantees acyclicity
+		}
+		order, err := r.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := map[int]int{}
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, p := range r.Pairs() {
+			if pos[p[0]] >= pos[p[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyClosureContainsReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 2 + local.Intn(7)
+		r := randomDAGRelation(local, n)
+		closed := r.Clone().TransitiveClosure()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if r.ReachableBefore(i, j) != closed.Has(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCycleImpliesTopoSortFails(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 3 + local.Intn(6)
+		r := randomDAGRelation(local, n)
+		// Force a cycle by adding a back edge along an existing path if any.
+		pairs := r.Pairs()
+		if len(pairs) == 0 {
+			return true
+		}
+		p := pairs[local.Intn(len(pairs))]
+		r.Add(p[1], p[0])
+		if r.Acyclic() {
+			return false
+		}
+		_, err := r.TopoSort()
+		return err != nil && r.FindCycle() != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() { order = append(order, 2) })
+	e.Schedule(5, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 3) })
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v", order)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %d, want 20", e.Now())
+	}
+	if e.Executed() != 3 {
+		t.Errorf("Executed = %d, want 3", e.Executed())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineTiesBreakByScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-breaking not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineEventsCanScheduleMoreEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			e.After(3, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	if err := e.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if e.Now() != 27 {
+		t.Errorf("Now = %d, want 27", e.Now())
+	}
+}
+
+func TestEngineCycleLimit(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.After(10, tick) }
+	e.Schedule(0, tick)
+	if err := e.Run(55); err == nil {
+		t.Fatal("exceeding the cycle limit must return an error")
+	}
+	if e.Pending() == 0 {
+		t.Error("the event that exceeded the limit should remain pending")
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling before Now should panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineRunEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(10); err != nil {
+		t.Fatal("running an empty engine should succeed")
+	}
+}
+
+func TestOpConstructorsAndKinds(t *testing.T) {
+	if Compute(5).Kind != OpCompute || Compute(5).Think != 5 {
+		t.Error("Compute constructor wrong")
+	}
+	if Read(0x40).Kind != OpRead || Read(0x40).Addr != 0x40 {
+		t.Error("Read constructor wrong")
+	}
+	if Write(0x80).Kind != OpWrite {
+		t.Error("Write constructor wrong")
+	}
+	if RMW(0xc0).Kind != OpRMW {
+		t.Error("RMW constructor wrong")
+	}
+	if Fence().Kind != OpFence {
+		t.Error("Fence constructor wrong")
+	}
+	if !OpRead.IsMemory() || !OpWrite.IsMemory() || !OpRMW.IsMemory() {
+		t.Error("memory kinds misclassified")
+	}
+	if OpCompute.IsMemory() || OpFence.IsMemory() {
+		t.Error("non-memory kinds misclassified")
+	}
+	names := map[OpKind]string{OpCompute: "compute", OpRead: "read", OpWrite: "write", OpRMW: "rmw", OpFence: "fence"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if OpKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	tr := NewTrace("t", 2)
+	tr.Append(0, Read(0), Write(64), RMW(128), Compute(10))
+	tr.Append(1, RMW(128), Fence())
+	if tr.Cores() != 2 || tr.TotalOps() != 6 {
+		t.Errorf("Cores=%d TotalOps=%d", tr.Cores(), tr.TotalOps())
+	}
+	if tr.MemOps() != 4 {
+		t.Errorf("MemOps = %d, want 4", tr.MemOps())
+	}
+	if tr.CountKind(OpRMW) != 2 || tr.CountKind(OpFence) != 1 {
+		t.Error("CountKind wrong")
+	}
+	if tr.UniqueRMWLines(64) != 1 {
+		t.Errorf("UniqueRMWLines = %d, want 1", tr.UniqueRMWLines(64))
+	}
+	cfg := DefaultConfig().WithCores(2)
+	if err := tr.Validate(cfg); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	if err := NewTrace("empty", 0).Validate(cfg); err == nil {
+		t.Error("trace with no cores must not validate")
+	}
+	big := NewTrace("big", 4)
+	if err := big.Validate(cfg); err == nil {
+		t.Error("trace with more cores than the config must not validate")
+	}
+}
+
+func TestConfigValidateAndHelpers(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.Cores != 32 || cfg.WriteBufferDepth != 32 || cfg.MemLatencyCycles != 300 {
+		t.Error("default config does not match Table 2")
+	}
+	if cfg.LineOf(130) != 2 {
+		t.Errorf("LineOf(130) = %d, want 2", cfg.LineOf(130))
+	}
+	if len(cfg.Table2()) < 7 {
+		t.Error("Table2 rendering too short")
+	}
+
+	bad := []func(Config) Config{
+		func(c Config) Config { c.Cores = 0; return c },
+		func(c Config) Config { c.WriteBufferDepth = 0; return c },
+		func(c Config) Config { c.L1SizeBytes = 0; return c },
+		func(c Config) Config { c.L1SizeBytes = 1000; return c },
+		func(c Config) Config { c.RMWType = 0; return c },
+		func(c Config) Config { c.BloomFilterBits = 0; return c },
+		func(c Config) Config { c.MaxCycles = 0; return c },
+	}
+	for i, mutate := range bad {
+		if err := mutate(DefaultConfig()).Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/sim/cache"
+	"repro/internal/sim/directory"
+	"repro/internal/sim/mesh"
+)
+
+// Simulator runs memory-operation traces on the simulated chip
+// multiprocessor described by a Config.
+type Simulator struct {
+	cfg Config
+}
+
+// New returns a simulator for the given configuration.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Run simulates the trace and returns the collected statistics. A run that
+// cannot make progress (every remaining core blocked on a locked line,
+// which can only happen with deadlock avoidance disabled) returns a Result
+// with Deadlocked set rather than an error, so callers can assert on it.
+func (s *Simulator) Run(trace *Trace) (*Result, error) {
+	if err := trace.Validate(s.cfg); err != nil {
+		return nil, err
+	}
+	engine := NewEngine()
+	topo := mesh.New(s.cfg.Cores, s.cfg.LinkLatencyCycles, s.cfg.RouterLatencyCycles)
+	caches := make([]*cache.Cache, s.cfg.Cores)
+	for i := range caches {
+		caches[i] = cache.New(cache.Config{
+			SizeBytes: s.cfg.L1SizeBytes,
+			Assoc:     s.cfg.L1Assoc,
+			LineBytes: s.cfg.LineBytes,
+		})
+	}
+	dir := directory.New(topo, caches, directory.Latencies{
+		L1:        s.cfg.L1LatencyCycles,
+		L2:        s.cfg.L2LatencyCycles,
+		Mem:       s.cfg.MemLatencyCycles,
+		LockRetry: s.cfg.LockRetryCycles,
+	})
+	addrs := bloom.NewAddrList(s.cfg.Cores, s.cfg.BloomFilterBits, s.cfg.BloomHashes, s.cfg.RMWResetThreshold)
+
+	uniqueRMWLines := map[uint64]bool{}
+	noteRMW := func(line uint64) { uniqueRMWLines[line] = true }
+
+	procs := make([]*processor, s.cfg.Cores)
+	for i := 0; i < s.cfg.Cores; i++ {
+		var ops []Op
+		if i < len(trace.PerCore) {
+			ops = trace.PerCore[i]
+		}
+		procs[i] = newProcessor(i, s.cfg, engine, dir, topo, addrs, ops, noteRMW)
+		procs[i].start()
+	}
+
+	runErr := engine.Run(s.cfg.MaxCycles)
+
+	res := &Result{
+		Workload:   trace.Name,
+		RMWType:    s.cfg.RMWType,
+		PerCore:    make([]CoreStats, s.cfg.Cores),
+		Broadcasts: uint64(addrs.Broadcasts()),
+		UniqueRMWs: len(uniqueRMWLines),
+	}
+	allDone := true
+	allDrained := true
+	for i, p := range procs {
+		res.PerCore[i] = p.stats
+		res.RMWCosts = append(res.RMWCosts, p.rmwCosts...)
+		if p.finishTime > res.Cycles {
+			res.Cycles = p.finishTime
+		}
+		if !p.done {
+			allDone = false
+		}
+		if !p.wb.Empty() {
+			allDrained = false
+		}
+	}
+	res.DirectoryLockDenials = dir.Stats().LockDenials
+
+	if runErr != nil {
+		return res, fmt.Errorf("sim: %s: %w", trace.Name, runErr)
+	}
+	if !allDone || !allDrained {
+		// The event queue drained while cores still had work or while
+		// writes were still parked on locked lines: the write-deadlock of
+		// Fig. 10. This is only reachable with deadlock avoidance disabled.
+		res.Deadlocked = true
+	}
+	return res, nil
+}
+
+// RunAllTypes runs the trace under type-1, type-2 and type-3 RMWs using the
+// same base configuration, returning one result per atomicity type keyed by
+// the type's name. It is the common harness for the Fig. 11 experiments.
+func RunAllTypes(cfg Config, trace *Trace) (map[string]*Result, error) {
+	out := map[string]*Result{}
+	for _, t := range core.AllTypes() {
+		sim, err := New(cfg.WithRMWType(t))
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(trace)
+		if err != nil {
+			return nil, err
+		}
+		out[t.String()] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package sim
+
+import "fmt"
+
+// OpKind classifies one trace operation.
+type OpKind int
+
+const (
+	// OpCompute models non-memory work: the core is busy for Think cycles.
+	OpCompute OpKind = iota
+	// OpRead is a load.
+	OpRead
+	// OpWrite is a store.
+	OpWrite
+	// OpRMW is an atomic read-modify-write (test-and-set, fetch-and-add,
+	// exchange, compare-and-swap -- the timing model does not distinguish
+	// them).
+	OpRMW
+	// OpFence is a full memory barrier (mfence): it drains the write
+	// buffer.
+	OpFence
+)
+
+// String renders the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpRMW:
+		return "rmw"
+	case OpFence:
+		return "fence"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// IsMemory reports whether the op accesses memory.
+func (k OpKind) IsMemory() bool { return k == OpRead || k == OpWrite || k == OpRMW }
+
+// Op is one operation of a core's trace.
+type Op struct {
+	// Kind classifies the operation.
+	Kind OpKind
+	// Addr is the byte address of memory operations.
+	Addr uint64
+	// Think is the busy time of OpCompute operations, in cycles.
+	Think uint64
+}
+
+// Compute returns a compute op of the given duration.
+func Compute(cycles uint64) Op { return Op{Kind: OpCompute, Think: cycles} }
+
+// Read returns a load of the given byte address.
+func Read(addr uint64) Op { return Op{Kind: OpRead, Addr: addr} }
+
+// Write returns a store to the given byte address.
+func Write(addr uint64) Op { return Op{Kind: OpWrite, Addr: addr} }
+
+// RMW returns an atomic read-modify-write of the given byte address.
+func RMW(addr uint64) Op { return Op{Kind: OpRMW, Addr: addr} }
+
+// Fence returns a full memory barrier.
+func Fence() Op { return Op{Kind: OpFence} }
+
+// Trace is one memory-operation trace per core. Cores with no trace simply
+// stay idle.
+type Trace struct {
+	// Name identifies the workload in reports.
+	Name string
+	// PerCore holds each core's operation sequence.
+	PerCore [][]Op
+}
+
+// NewTrace returns an empty named trace for the given number of cores.
+func NewTrace(name string, cores int) *Trace {
+	return &Trace{Name: name, PerCore: make([][]Op, cores)}
+}
+
+// Append adds operations to one core's trace.
+func (t *Trace) Append(cpu int, ops ...Op) {
+	t.PerCore[cpu] = append(t.PerCore[cpu], ops...)
+}
+
+// Cores returns the number of per-core streams.
+func (t *Trace) Cores() int { return len(t.PerCore) }
+
+// TotalOps returns the total number of operations across all cores.
+func (t *Trace) TotalOps() int {
+	n := 0
+	for _, ops := range t.PerCore {
+		n += len(ops)
+	}
+	return n
+}
+
+// CountKind returns the number of operations of the given kind.
+func (t *Trace) CountKind(kind OpKind) int {
+	n := 0
+	for _, ops := range t.PerCore {
+		for _, op := range ops {
+			if op.Kind == kind {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MemOps returns the number of memory operations (reads, writes, RMWs).
+func (t *Trace) MemOps() int {
+	return t.CountKind(OpRead) + t.CountKind(OpWrite) + t.CountKind(OpRMW)
+}
+
+// UniqueRMWLines returns the number of distinct cache lines targeted by RMW
+// operations, given the line size.
+func (t *Trace) UniqueRMWLines(lineBytes int) int {
+	seen := map[uint64]bool{}
+	for _, ops := range t.PerCore {
+		for _, op := range ops {
+			if op.Kind == OpRMW {
+				seen[op.Addr/uint64(lineBytes)] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Validate checks the trace fits the configuration.
+func (t *Trace) Validate(cfg Config) error {
+	if len(t.PerCore) == 0 {
+		return fmt.Errorf("sim: trace %q has no cores", t.Name)
+	}
+	if len(t.PerCore) > cfg.Cores {
+		return fmt.Errorf("sim: trace %q has %d core streams but the configuration has %d cores",
+			t.Name, len(t.PerCore), cfg.Cores)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Package writebuffer models the per-core store (write) buffer of a TSO
+// processor: a bounded FIFO of retired-but-not-yet-performed writes. Under
+// TSO the buffer drains in order; the entry at the head owns the in-flight
+// coherence transaction. The buffer itself is a passive data structure --
+// drain scheduling, forced drains and the interaction with cache-line locks
+// are orchestrated by the processor model in internal/sim.
+package writebuffer
+
+import "fmt"
+
+// Entry is one pending write.
+type Entry struct {
+	// Line is the cache-line address of the write.
+	Line uint64
+	// IsRMWWrite marks the write half (Wa) of a weak RMW; completing it
+	// must unlock the RMW's cache line.
+	IsRMWWrite bool
+	// EnqueuedAt is the cycle the write retired into the buffer.
+	EnqueuedAt uint64
+	// InFlight is set while the entry's ownership request is outstanding.
+	InFlight bool
+	// Ready is set once the entry's ownership response has arrived; under
+	// TSO writes still complete (leave the buffer) strictly in FIFO order,
+	// so a ready entry behind a non-ready head keeps waiting. ReadyAt
+	// records when ownership arrived.
+	Ready   bool
+	ReadyAt uint64
+	// id is a unique identity used to remove entries that complete out of
+	// order during a parallel forced drain.
+	id uint64
+}
+
+// Buffer is a bounded FIFO write buffer.
+type Buffer struct {
+	capacity int
+	entries  []*Entry
+	nextID   uint64
+
+	// statistics
+	enqueued     uint64
+	maxOccupancy int
+	fullStalls   uint64
+}
+
+// New returns an empty buffer with the given capacity. It panics on a
+// non-positive capacity (a configuration error).
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("writebuffer: non-positive capacity %d", capacity))
+	}
+	return &Buffer{capacity: capacity}
+}
+
+// Capacity returns the buffer's capacity in entries.
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Len returns the number of pending writes.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Empty reports whether no writes are pending.
+func (b *Buffer) Empty() bool { return len(b.entries) == 0 }
+
+// Full reports whether the buffer cannot accept another write.
+func (b *Buffer) Full() bool { return len(b.entries) >= b.capacity }
+
+// Push appends a write to the tail. It returns the new entry, or an error
+// if the buffer is full (the caller must stall and retry once an entry
+// drains).
+func (b *Buffer) Push(line uint64, isRMWWrite bool, at uint64) (*Entry, error) {
+	if b.Full() {
+		b.fullStalls++
+		return nil, fmt.Errorf("writebuffer: full (capacity %d)", b.capacity)
+	}
+	e := &Entry{Line: line, IsRMWWrite: isRMWWrite, EnqueuedAt: at, id: b.nextID}
+	b.nextID++
+	b.entries = append(b.entries, e)
+	b.enqueued++
+	if len(b.entries) > b.maxOccupancy {
+		b.maxOccupancy = len(b.entries)
+	}
+	return e, nil
+}
+
+// Head returns the oldest pending write, or nil when empty.
+func (b *Buffer) Head() *Entry {
+	if len(b.entries) == 0 {
+		return nil
+	}
+	return b.entries[0]
+}
+
+// Entries returns the pending writes in FIFO order. The returned slice
+// aliases the buffer's internal storage and must not be modified; it is
+// intended for read-only scans such as the bloom-filter conflict check and
+// store-to-load forwarding.
+func (b *Buffer) Entries() []*Entry { return b.entries }
+
+// Remove deletes the given entry (identified by identity, not position),
+// returning whether it was present. Entries normally complete at the head,
+// but a parallel forced drain may complete them out of order.
+func (b *Buffer) Remove(e *Entry) bool {
+	for i, cur := range b.entries {
+		if cur.id == e.id {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether a pending write to the given line exists, for
+// store-to-load forwarding.
+func (b *Buffer) Contains(line uint64) bool {
+	for _, e := range b.entries {
+		if e.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingLines returns the distinct line addresses of all pending writes,
+// in FIFO order of first occurrence.
+func (b *Buffer) PendingLines() []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, e := range b.entries {
+		if !seen[e.Line] {
+			seen[e.Line] = true
+			out = append(out, e.Line)
+		}
+	}
+	return out
+}
+
+// Enqueued returns the total number of writes ever pushed.
+func (b *Buffer) Enqueued() uint64 { return b.enqueued }
+
+// MaxOccupancy returns the highest number of simultaneously pending writes.
+func (b *Buffer) MaxOccupancy() int { return b.maxOccupancy }
+
+// FullStalls returns how many pushes were rejected because the buffer was
+// full.
+func (b *Buffer) FullStalls() uint64 { return b.fullStalls }

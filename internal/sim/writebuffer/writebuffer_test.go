@@ -1,0 +1,163 @@
+package writebuffer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	b := New(4)
+	if !b.Empty() || b.Full() || b.Len() != 0 || b.Capacity() != 4 {
+		t.Fatal("fresh buffer state wrong")
+	}
+	e1, err := b.Push(10, false, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := b.Push(20, true, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 || b.Empty() {
+		t.Fatal("length wrong after pushes")
+	}
+	if b.Head() != e1 {
+		t.Error("head should be the oldest entry")
+	}
+	if !b.Remove(e1) {
+		t.Error("Remove head failed")
+	}
+	if b.Head() != e2 {
+		t.Error("head should advance after removal")
+	}
+	if b.Head().IsRMWWrite != true || b.Head().Line != 20 || b.Head().EnqueuedAt != 101 {
+		t.Error("entry fields lost")
+	}
+}
+
+func TestPushFullRejects(t *testing.T) {
+	b := New(2)
+	if _, err := b.Push(1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Push(2, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Full() {
+		t.Fatal("buffer should be full")
+	}
+	if _, err := b.Push(3, false, 0); err == nil {
+		t.Fatal("push into a full buffer must fail")
+	}
+	if b.FullStalls() != 1 {
+		t.Errorf("FullStalls = %d, want 1", b.FullStalls())
+	}
+	if b.Len() != 2 {
+		t.Error("failed push must not grow the buffer")
+	}
+}
+
+func TestRemoveOutOfOrder(t *testing.T) {
+	b := New(4)
+	e1, _ := b.Push(1, false, 0)
+	e2, _ := b.Push(2, false, 0)
+	e3, _ := b.Push(3, false, 0)
+	if !b.Remove(e2) {
+		t.Fatal("middle removal failed")
+	}
+	if b.Len() != 2 || b.Head() != e1 {
+		t.Error("removal disturbed order")
+	}
+	if b.Remove(e2) {
+		t.Error("double removal should report absence")
+	}
+	if !b.Remove(e1) || !b.Remove(e3) {
+		t.Error("remaining removals failed")
+	}
+	if !b.Empty() {
+		t.Error("buffer should be empty")
+	}
+	if b.Head() != nil {
+		t.Error("Head of an empty buffer should be nil")
+	}
+}
+
+func TestContainsAndPendingLines(t *testing.T) {
+	b := New(8)
+	b.Push(100, false, 0)
+	b.Push(200, false, 0)
+	b.Push(100, false, 0)
+	if !b.Contains(100) || !b.Contains(200) || b.Contains(300) {
+		t.Error("Contains wrong")
+	}
+	lines := b.PendingLines()
+	if len(lines) != 2 || lines[0] != 100 || lines[1] != 200 {
+		t.Errorf("PendingLines = %v, want [100 200]", lines)
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 3; i++ {
+		b.Push(uint64(i), false, 0)
+	}
+	if b.MaxOccupancy() != 3 || b.Enqueued() != 3 {
+		t.Errorf("MaxOccupancy=%d Enqueued=%d", b.MaxOccupancy(), b.Enqueued())
+	}
+	b.Remove(b.Head())
+	b.Push(9, false, 0)
+	if b.MaxOccupancy() != 3 || b.Enqueued() != 4 {
+		t.Errorf("after churn: MaxOccupancy=%d Enqueued=%d", b.MaxOccupancy(), b.Enqueued())
+	}
+}
+
+func TestEntriesIsFIFOView(t *testing.T) {
+	b := New(4)
+	b.Push(5, false, 1)
+	b.Push(6, true, 2)
+	es := b.Entries()
+	if len(es) != 2 || es[0].Line != 5 || es[1].Line != 6 {
+		t.Errorf("Entries = %v", es)
+	}
+}
+
+func TestPropertyNeverExceedsCapacityAndFIFO(t *testing.T) {
+	err := quick.Check(func(ops []uint8) bool {
+		b := New(4)
+		var order []uint64
+		for i, op := range ops {
+			if op%3 == 0 && !b.Empty() {
+				head := b.Head()
+				if head.Line != order[0] {
+					return false // FIFO violated
+				}
+				b.Remove(head)
+				order = order[1:]
+				continue
+			}
+			if !b.Full() {
+				line := uint64(i)
+				if _, err := b.Push(line, false, uint64(i)); err != nil {
+					return false
+				}
+				order = append(order, line)
+			}
+			if b.Len() > b.Capacity() {
+				return false
+			}
+		}
+		return b.Len() == len(order)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

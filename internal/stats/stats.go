@@ -1,0 +1,157 @@
+// Package stats provides the small reporting utilities shared by the
+// experiment harness and the command-line tools: fixed-width tables,
+// labelled series for the figure-style results, and percentage helpers.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named sequence of (label, value) points, used for the
+// figure-style results (e.g. per-benchmark RMW cost for one RMW type).
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(label string, value float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, value)
+}
+
+// Chart renders a set of series that share labels as a grouped horizontal
+// bar chart in text, one block per label. Values are scaled so the longest
+// bar is width characters.
+func Chart(title string, width int, series ...Series) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteString("\n")
+	}
+	if len(series) == 0 || len(series[0].Labels) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	nameWidth := 0
+	for _, s := range series {
+		if len(s.Name) > nameWidth {
+			nameWidth = len(s.Name)
+		}
+	}
+	for i, label := range series[0].Labels {
+		fmt.Fprintf(&b, "%s\n", label)
+		for _, s := range series {
+			if i >= len(s.Values) {
+				continue
+			}
+			v := s.Values[i]
+			bar := 0
+			if max > 0 {
+				bar = int(v / max * float64(width))
+			}
+			fmt.Fprintf(&b, "  %-*s %8.2f %s\n", nameWidth, s.Name, v, strings.Repeat("#", bar))
+		}
+	}
+	return b.String()
+}
+
+// PercentReduction returns how much smaller next is than base, in percent.
+// A zero base yields zero.
+func PercentReduction(base, next float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - next) / base
+}
+
+// Percent formats a float as a percentage with one decimal.
+func Percent(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// F1 and F2 format floats with one and two decimals.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Mark renders a boolean as the check/cross marks used by the paper's
+// Table 1.
+func Mark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta") // short row padded
+	out := tb.Render()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "alpha") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("render has %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and first row start of second column match.
+	if strings.Index(lines[1], "value") != strings.Index(lines[3], "1") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	out := tb.Render()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title should not leave a blank first line")
+	}
+}
+
+func TestSeriesAndChart(t *testing.T) {
+	s1 := Series{Name: "type-1"}
+	s1.Add("bench-a", 60)
+	s1.Add("bench-b", 30)
+	s2 := Series{Name: "type-2"}
+	s2.Add("bench-a", 30)
+	s2.Add("bench-b", 15)
+	out := Chart("Fig", 20, s1, s2)
+	for _, want := range []string{"Fig", "bench-a", "bench-b", "type-1", "type-2", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The largest value gets the longest bar.
+	if strings.Count(out, "#") == 0 {
+		t.Error("no bars rendered")
+	}
+	if !strings.Contains(Chart("empty", 10), "(no data)") {
+		t.Error("empty chart should say so")
+	}
+	// Zero width falls back to a default.
+	if Chart("z", 0, s1) == "" {
+		t.Error("zero width chart empty")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if PercentReduction(100, 40) != 60 {
+		t.Errorf("PercentReduction(100,40) = %f", PercentReduction(100, 40))
+	}
+	if PercentReduction(0, 5) != 0 {
+		t.Error("zero base should yield zero")
+	}
+	if Percent(12.34) != "12.3%" {
+		t.Errorf("Percent = %q", Percent(12.34))
+	}
+	if F1(1.26) != "1.3" || F2(1.262) != "1.26" {
+		t.Error("float formatting wrong")
+	}
+	if Mark(true) != "yes" || Mark(false) != "no" {
+		t.Error("Mark wrong")
+	}
+}

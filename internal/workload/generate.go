@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Replacement selects which half of the Dekker-like synchronization in the
+// work-stealing queue is replaced by an RMW, mirroring the paper's C/C++11
+// experiment (wsq-mst_rr and wsq-mst_wr).
+type Replacement int
+
+const (
+	// NoReplacement uses an RMW only where the original algorithm has one
+	// (the steal CAS and node-claim CAS).
+	NoReplacement Replacement = iota
+	// ReadReplacement turns the pop's SC-atomic-read of top into an RMW
+	// (lock xadd(0)), the paper's wsq-mst_rr.
+	ReadReplacement
+	// WriteReplacement turns the pop's SC-atomic-write of bottom into an
+	// RMW (lock xchg), the paper's wsq-mst_wr.
+	WriteReplacement
+)
+
+// String renders the replacement variant.
+func (r Replacement) String() string {
+	switch r {
+	case NoReplacement:
+		return "none"
+	case ReadReplacement:
+		return "read-replacement"
+	case WriteReplacement:
+		return "write-replacement"
+	default:
+		return fmt.Sprintf("Replacement(%d)", int(r))
+	}
+}
+
+// Memory layout of the synthetic address space (byte addresses; the
+// simulator converts to 64-byte lines). Each region is padded so distinct
+// logical objects live on distinct lines.
+const (
+	lineBytes        = 64
+	lockRegionBase   = 0x1000_0000 // synchronization variables (lock words, deque tops, STM locks)
+	sharedRegionBase = 0x2000_0000 // shared data
+	dequeRegionBase  = 0x3000_0000 // per-core deque anchors (top/bottom)
+	privateBase      = 0x4000_0000 // per-core private data
+	privateStride    = 0x0100_0000
+)
+
+// lockAddr returns the byte address of the i-th synchronization variable.
+func lockAddr(i int) uint64 { return lockRegionBase + uint64(i)*lineBytes }
+
+// sharedAddr returns the byte address of the i-th shared data line.
+func sharedAddr(i int) uint64 { return sharedRegionBase + uint64(i)*lineBytes }
+
+// dequeTopAddr and dequeBottomAddr return the anchors of core c's deque.
+func dequeTopAddr(c int) uint64    { return dequeRegionBase + uint64(c)*4*lineBytes }
+func dequeBottomAddr(c int) uint64 { return dequeRegionBase + uint64(c)*4*lineBytes + 2*lineBytes }
+
+// privateAddr returns the byte address of core c's i-th private line.
+func privateAddr(c, i int) uint64 {
+	return privateBase + uint64(c)*privateStride + uint64(i)*lineBytes
+}
+
+// Generator produces simulator traces from benchmark profiles.
+type Generator struct {
+	// Cores is the number of cores to generate streams for.
+	Cores int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Replacement applies to work-stealing profiles only.
+	Replacement Replacement
+}
+
+// Generate builds the trace for a profile.
+func (g Generator) Generate(p Profile) (*sim.Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Cores <= 0 {
+		return nil, fmt.Errorf("workload: non-positive core count %d", g.Cores)
+	}
+	name := p.Name
+	switch g.Replacement {
+	case ReadReplacement:
+		name += "_rr"
+	case WriteReplacement:
+		name += "_wr"
+	}
+	trace := sim.NewTrace(name, g.Cores)
+	for c := 0; c < g.Cores; c++ {
+		rng := rand.New(rand.NewSource(g.Seed + int64(c)*7919 + 1))
+		switch p.Pattern {
+		case LockBased:
+			g.lockBasedStream(trace, c, p, rng)
+		case Transactional:
+			g.transactionalStream(trace, c, p, rng)
+		case WorkStealing:
+			g.workStealingStream(trace, c, p, rng)
+		default:
+			return nil, fmt.Errorf("workload: profile %q: unknown pattern %v", p.Name, p.Pattern)
+		}
+	}
+	return trace, nil
+}
+
+// privatePhase emits the non-shared work between synchronization episodes.
+func (g Generator) privatePhase(trace *sim.Trace, c int, p Profile, rng *rand.Rand) {
+	if p.ThinkCycles > 0 {
+		trace.Append(c, sim.Compute(p.ThinkCycles))
+	}
+	for i := 0; i < p.PrivateOpsPerEpisode; i++ {
+		addr := privateAddr(c, rng.Intn(64))
+		if rng.Float64() < p.WriteFraction {
+			trace.Append(c, sim.Write(addr))
+		} else {
+			trace.Append(c, sim.Read(addr))
+		}
+	}
+}
+
+// pickSync picks a synchronization variable index for core c. With
+// probability LockAffinity the index comes from the core's own partition of
+// the pool (real programs partition their work, so most acquisitions are
+// uncontended); otherwise it is drawn uniformly, providing the cross-core
+// sharing that exercises the coherence protocol.
+func (g Generator) pickSync(c int, p Profile, rng *rand.Rand) int {
+	pool := p.SharedLockLines
+	if p.LockAffinity > 0 && rng.Float64() < p.LockAffinity && g.Cores > 0 {
+		per := pool / g.Cores
+		if per < 1 {
+			per = 1
+		}
+		base := (c * per) % pool
+		return (base + rng.Intn(per)) % pool
+	}
+	return rng.Intn(pool)
+}
+
+// sharedOps emits n accesses to the shared-data pool, writing with the
+// profile's write fraction.
+func (g Generator) sharedOps(trace *sim.Trace, c int, p Profile, rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		addr := sharedAddr(rng.Intn(p.SharedDataLines))
+		if rng.Float64() < p.WriteFraction {
+			trace.Append(c, sim.Write(addr))
+		} else {
+			trace.Append(c, sim.Read(addr))
+		}
+	}
+}
+
+// lockBasedStream models SPLASH-2/PARSEC style code: private work, a couple
+// of shared-buffer writes, then lock; critical section; unlock. The shared
+// writes just before the acquire are what make the baseline type-1 RMW pay
+// for a write-buffer drain, as the paper observes.
+func (g Generator) lockBasedStream(trace *sim.Trace, c int, p Profile, rng *rand.Rand) {
+	for it := 0; it < p.Iterations; it++ {
+		g.privatePhase(trace, c, p, rng)
+		// Publish a couple of results to shared memory right before the
+		// acquire.
+		g.sharedOps(trace, c, p, rng, 2)
+		lock := lockAddr(g.pickSync(c, p, rng))
+		trace.Append(c, sim.RMW(lock)) // acquire (test-and-set)
+		g.sharedOps(trace, c, p, rng, p.CriticalSectionOps)
+		trace.Append(c, sim.Write(lock)) // release
+	}
+}
+
+// transactionalStream models STAMP code running on a TL2-style STM: a read
+// phase, then a commit that locks each written location with an RMW, bumps
+// the global version clock with an RMW, writes back, and releases the
+// locks with plain stores.
+func (g Generator) transactionalStream(trace *sim.Trace, c int, p Profile, rng *rand.Rand) {
+	// The version clock is the hot line every commit bumps. TL2's GV5/GV6
+	// variants reduce clock contention; ClockLines > 1 models that by
+	// sharding the clock, with each core mostly using its home shard.
+	clockShards := p.ClockLines
+	if clockShards <= 0 {
+		clockShards = 1
+	}
+	clockRegion := p.SharedLockLines // clock shards live after the STM locks
+	for it := 0; it < p.Iterations; it++ {
+		g.privatePhase(trace, c, p, rng)
+		// Read set.
+		g.sharedOps(trace, c, p, rng, p.CriticalSectionOps)
+		// Write set: lock each written location (CAS on its STM lock), then
+		// bump the version clock, write back, release. The short compute
+		// gaps model the per-location and read-set validation TL2 performs
+		// between the lock acquisitions; they also give the lock RMWs'
+		// writes time to leave the write buffer, which is why the paper
+		// measures almost no bloom-filter reverts for the STAMP codes.
+		writeSet := 1 + rng.Intn(2)
+		locks := make([]uint64, 0, writeSet)
+		for w := 0; w < writeSet; w++ {
+			l := lockAddr(g.pickSync(c, p, rng))
+			locks = append(locks, l)
+			trace.Append(c, sim.RMW(l), sim.Compute(30))
+		}
+		clock := lockAddr(clockRegion + c%clockShards)
+		trace.Append(c, sim.Compute(60), sim.RMW(clock))
+		for w := 0; w < writeSet; w++ {
+			trace.Append(c, sim.Write(sharedAddr(rng.Intn(p.SharedDataLines))))
+		}
+		for _, l := range locks {
+			trace.Append(c, sim.Write(l))
+		}
+	}
+}
+
+// workStealingStream models the Chase-Lev deque plus the node-claiming CAS
+// of the parallel spanning-tree program (wsq-mst). Each episode pops a
+// task (the Dekker-like bottom/top synchronization whose SC accesses the
+// paper's C/C++11 experiment replaces with RMWs), executes it (claiming a
+// graph node with a CAS and touching its neighbours), pushes newly
+// discovered work, and occasionally steals from a victim deque. The task
+// execution between the push and the next pop is what lets the push's
+// plain write of bottom leave the write buffer before the pop's RMW, as it
+// does in the real program.
+func (g Generator) workStealingStream(trace *sim.Trace, c int, p Profile, rng *rand.Rand) {
+	for it := 0; it < p.Iterations; it++ {
+		// Publish the previous task's results just before taking the next
+		// task; these are the pending writes that make the baseline type-1
+		// RMW pay for a drain at the pop.
+		g.sharedOps(trace, c, p, rng, 2)
+
+		// Pop a task: the Dekker-like sequence "write bottom; read top".
+		switch g.Replacement {
+		case WriteReplacement:
+			trace.Append(c, sim.RMW(dequeBottomAddr(c))) // SC-atomic-write -> lock xchg
+			trace.Append(c, sim.Read(dequeTopAddr(c)))
+		case ReadReplacement:
+			trace.Append(c, sim.Write(dequeBottomAddr(c)))
+			trace.Append(c, sim.RMW(dequeTopAddr(c))) // SC-atomic-read -> lock xadd(0)
+		default:
+			trace.Append(c, sim.Write(dequeBottomAddr(c)))
+			trace.Append(c, sim.Read(dequeTopAddr(c)))
+			// Occasionally the pop races a thief and resolves it with a CAS
+			// on top.
+			if rng.Float64() < 0.2 {
+				trace.Append(c, sim.RMW(dequeTopAddr(c)))
+			}
+		}
+
+		// Execute the task: claim a graph node with a CAS, then touch its
+		// neighbours. The large node pool is what gives wsq-mst its high
+		// fraction of unique RMW addresses.
+		node := lockAddr(g.pickSync(c, p, rng))
+		trace.Append(c, sim.RMW(node))
+		g.sharedOps(trace, c, p, rng, p.CriticalSectionOps)
+
+		// Push newly discovered work: write the task slot, then publish
+		// bottom.
+		trace.Append(c, sim.Write(sharedAddr(rng.Intn(p.SharedDataLines))))
+		trace.Append(c, sim.Write(dequeBottomAddr(c)))
+
+		// Occasionally steal from a victim deque: read its anchors and CAS
+		// its top.
+		if g.Cores > 1 && rng.Float64() < 0.25 {
+			victim := rng.Intn(g.Cores)
+			if victim == c {
+				victim = (victim + 1) % g.Cores
+			}
+			trace.Append(c, sim.Read(dequeTopAddr(victim)))
+			trace.Append(c, sim.Read(dequeBottomAddr(victim)))
+			trace.Append(c, sim.RMW(dequeTopAddr(victim)))
+		}
+
+		// Local bookkeeping before the next pop; this is where the push's
+		// write of bottom drains.
+		g.privatePhase(trace, c, p, rng)
+	}
+}
+
+// GenerateByName builds the trace for a Table 3 benchmark by name.
+func (g Generator) GenerateByName(name string) (*sim.Trace, error) {
+	p, err := FindProfile(name)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(p)
+}
+
+// WSQProfile returns the wsq-mst profile, the benchmark used for the
+// C/C++11 read-/write-replacement comparison.
+func WSQProfile() Profile {
+	p, err := FindProfile("wsq-mst")
+	if err != nil {
+		// Table3Profiles always contains wsq-mst; reaching this is a
+		// programming error.
+		panic(err)
+	}
+	return p
+}

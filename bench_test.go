@@ -17,6 +17,7 @@ import (
 	"repro/internal/cpp11"
 	"repro/internal/experiments"
 	"repro/internal/litmus"
+	"repro/internal/memmodel"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -293,6 +294,74 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// enumerate3ThreadProgram builds the 3-thread program used to compare the
+// materializing and streaming enumerations: three threads with crossed
+// write/RMW/read pairs, giving a candidate set in the thousands so the
+// cost of materializing it is visible.
+func enumerate3ThreadProgram() *memmodel.Program {
+	p := memmodel.NewProgram("enumerate-bench-3t")
+	p.AddThread(memmodel.Write(0, 1), memmodel.FetchAdd(1, "a0", 1), memmodel.Read(2, "r0"))
+	p.AddThread(memmodel.Write(1, 1), memmodel.FetchAdd(2, "a1", 1), memmodel.Read(0, "r1"))
+	p.AddThread(memmodel.Write(2, 1), memmodel.FetchAdd(0, "a2", 1), memmodel.Read(1, "r2"))
+	return p
+}
+
+// BenchmarkEnumerateMaterialized measures the slice-based Enumerate on the
+// 3-thread program: the whole candidate set is allocated and retained
+// before the model's validity filter can run.
+func BenchmarkEnumerateMaterialized(b *testing.B) {
+	p := enumerate3ThreadProgram()
+	model := core.NewModel(core.Type2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cands, err := memmodel.Enumerate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		valid := 0
+		for _, x := range cands {
+			if model.Valid(x) {
+				valid++
+			}
+		}
+		if valid == 0 {
+			b.Fatal("no valid executions")
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(len(cands)), "candidates")
+		}
+	}
+}
+
+// BenchmarkEnumerateStreaming measures the visitor-based EnumerateFunc on
+// the same program and filter: candidates are visited one at a time, so
+// the candidate set is never materialized. The allocation win over
+// BenchmarkEnumerateMaterialized is the figure to track.
+func BenchmarkEnumerateStreaming(b *testing.B) {
+	p := enumerate3ThreadProgram()
+	model := core.NewModel(core.Type2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		valid, candidates := 0, 0
+		err := memmodel.EnumerateFunc(p, func(x *memmodel.Execution) bool {
+			candidates++
+			if model.Valid(x) {
+				valid++
+			}
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if valid == 0 {
+			b.Fatal("no valid executions")
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(candidates), "candidates")
+		}
+	}
 }
 
 // BenchmarkLitmusSuite measures the model checker on the full litmus suite,

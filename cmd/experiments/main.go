@@ -8,11 +8,12 @@
 //	experiments -summary              only the headline summary
 //	experiments -quick                use the reduced configuration (8 cores, short workloads)
 //	experiments -cores 16 -scale 0.5  custom run size
+//	experiments -j 8                  simulation worker-pool parallelism
 //
 // The semantics experiments (Tables 1 and 4) are exact model-checking
 // results and always match the paper. The simulation experiments (Table 3,
-// Fig. 11) reproduce the paper's shapes on the synthetic workloads; see
-// EXPERIMENTS.md for the recorded comparison.
+// Fig. 11) reproduce the paper's shapes on the synthetic workloads; the
+// benchmark×type grid is swept in parallel across a worker pool.
 package main
 
 import (
@@ -20,25 +21,27 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/experiments"
+	"repro/pkg/rmwtso"
 )
 
 func main() {
 	var (
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		table   = flag.String("table", "", "regenerate one table: 1, 2, 3 or 4")
-		fig     = flag.String("fig", "", "regenerate one figure: 11a or 11b")
-		summary = flag.Bool("summary", false, "print the headline summary")
-		quick   = flag.Bool("quick", false, "use the reduced configuration")
-		cores   = flag.Int("cores", 0, "override the number of simulated cores")
-		scale   = flag.Float64("scale", 0, "override the workload scale factor")
-		seed    = flag.Int64("seed", 0, "override the workload seed")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		table    = flag.String("table", "", "regenerate one table: 1, 2, 3 or 4")
+		fig      = flag.String("fig", "", "regenerate one figure: 11a or 11b")
+		summary  = flag.Bool("summary", false, "print the headline summary")
+		quick    = flag.Bool("quick", false, "use the reduced configuration")
+		cores    = flag.Int("cores", 0, "override the number of simulated cores")
+		scale    = flag.Float64("scale", 0, "override the workload scale factor")
+		seed     = flag.Int64("seed", 0, "override the workload seed")
+		par      = flag.Int("j", 0, "simulation worker-pool parallelism (default: GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "stream per-run progress while simulating")
 	)
 	flag.Parse()
 
-	opts := experiments.DefaultOptions()
+	opts := rmwtso.DefaultOptions()
 	if *quick {
-		opts = experiments.QuickOptions()
+		opts = rmwtso.QuickOptions()
 	}
 	if *cores > 0 {
 		opts.Cores = *cores
@@ -56,10 +59,10 @@ func main() {
 	}
 
 	if *all || *table == "1" {
-		rows, err := experiments.RunTable1()
+		rows, err := rmwtso.RunTable1()
 		check(err)
-		fmt.Println(experiments.RenderTable1(rows))
-		if err := experiments.CheckTable1Matches(rows); err != nil {
+		fmt.Println(rmwtso.RenderTable1(rows))
+		if err := rmwtso.CheckTable1Matches(rows); err != nil {
 			fmt.Println("WARNING:", err)
 		} else {
 			fmt.Println("Table 1 matches the paper exactly.")
@@ -67,13 +70,13 @@ func main() {
 		fmt.Println()
 	}
 	if *all || *table == "2" {
-		fmt.Println(experiments.RenderTable2(opts.BaseConfig()))
+		fmt.Println(rmwtso.RenderTable2(opts.BaseConfig()))
 		fmt.Println()
 	}
 	if *all || *table == "4" {
-		rows, err := experiments.RunTable4()
+		rows, err := rmwtso.RunTable4()
 		check(err)
-		fmt.Println(experiments.RenderTable4(rows))
+		fmt.Println(rmwtso.RenderTable4(rows))
 		fmt.Println()
 	}
 
@@ -82,28 +85,43 @@ func main() {
 		return
 	}
 
+	runnerOpts := []rmwtso.Option{}
+	if *par > 0 {
+		runnerOpts = append(runnerOpts, rmwtso.WithParallelism(*par))
+	}
+	if *progress {
+		runnerOpts = append(runnerOpts, rmwtso.WithObserver(func(e rmwtso.Event) {
+			if e.Sim == nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "  done: %s under %s (%d cycles)\n",
+				e.Sim.Trace, e.Sim.Type, e.Sim.Result.Cycles)
+		}))
+	}
+	runner := rmwtso.NewRunner(runnerOpts...)
+
 	fmt.Printf("Simulating the Table 3 benchmark set (%d cores, scale %.2f)...\n\n", opts.Cores, opts.Scale)
-	runs, err := experiments.RunTable3Benchmarks(opts)
+	runs, err := runner.RunTable3Benchmarks(opts)
 	check(err)
-	cppRuns, err := experiments.RunCpp11Benchmarks(opts)
+	cppRuns, err := runner.RunCpp11Benchmarks(opts)
 	check(err)
-	allRuns := append(append([]*experiments.BenchmarkRun{}, runs...), cppRuns...)
+	allRuns := append(append([]*rmwtso.BenchmarkRun{}, runs...), cppRuns...)
 
 	if *all || *table == "3" {
-		fmt.Println(experiments.RenderTable3(experiments.Table3FromRuns(runs)))
+		fmt.Println(rmwtso.RenderTable3(rmwtso.Table3FromRuns(runs)))
 		fmt.Println()
 	}
-	figA, figB := experiments.Fig11FromRuns(allRuns)
+	figA, figB := rmwtso.Fig11FromRuns(allRuns)
 	if *all || *fig == "11a" {
-		fmt.Println(experiments.RenderFig11a(figA))
+		fmt.Println(rmwtso.RenderFig11a(figA))
 		fmt.Println()
 	}
 	if *all || *fig == "11b" {
-		fmt.Println(experiments.RenderFig11b(figB))
+		fmt.Println(rmwtso.RenderFig11b(figB))
 		fmt.Println()
 	}
 	if *all || *summary {
-		fmt.Println(experiments.Summarize(figA, figB).Render())
+		fmt.Println(rmwtso.Summarize(figA, figB).Render())
 	}
 }
 

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	litmus -suite            run the built-in suite (paper figures + classics)
-//	litmus -test <name>      run one built-in test by name
+//	litmus -suite            run the full registered suite (paper figures + classics)
+//	litmus -filter 'SB*'     run the registered tests matching a glob
+//	litmus -test <name>      run one registered test by name
 //	litmus -file <path>      run a test from a litmus file
 //	litmus -type type-2      restrict to one atomicity type (default: all three)
-//	litmus -v                also print the outcome sets
+//	litmus -j 8              worker-pool parallelism (default: GOMAXPROCS)
+//	litmus -v                also stream the outcome sets as verdicts finish
 package main
 
 import (
@@ -16,87 +18,92 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/litmus"
+	"repro/pkg/rmwtso"
 )
 
 func main() {
 	var (
-		suite    = flag.Bool("suite", false, "run the full built-in suite")
-		testName = flag.String("test", "", "run one built-in test by name")
+		suite    = flag.Bool("suite", false, "run the full registered suite")
+		filter   = flag.String("filter", "", "run the registered tests matching a glob pattern (e.g. 'SB*')")
+		testName = flag.String("test", "", "run one registered test by name")
 		file     = flag.String("file", "", "run a test parsed from a litmus file")
 		typeName = flag.String("type", "", "atomicity type to check (type-1, type-2, type-3); default all")
-		verbose  = flag.Bool("v", false, "print outcome sets")
+		par      = flag.Int("j", 0, "worker-pool parallelism (default: GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "stream outcome sets as verdicts finish")
 	)
 	flag.Parse()
 
-	types := core.AllTypes()
+	var opts []rmwtso.Option
 	if *typeName != "" {
-		t, err := core.ParseAtomicityType(*typeName)
+		t, err := rmwtso.ParseAtomicityType(*typeName)
 		if err != nil {
 			fatal(err)
 		}
-		types = []core.AtomicityType{t}
+		opts = append(opts, rmwtso.WithRMWTypes(t))
+	}
+	if *par > 0 {
+		opts = append(opts, rmwtso.WithParallelism(*par))
+	}
+	if *verbose {
+		opts = append(opts, rmwtso.WithObserver(func(e rmwtso.Event) {
+			r := e.Litmus
+			if r == nil {
+				return
+			}
+			fmt.Printf("%s under %s: condition %s -> %v\n", r.Test.Name, r.Atomicity, r.Test.Cond, r.Holds)
+			for _, key := range r.Outcomes.Keys() {
+				fmt.Printf("    %s\n", key)
+			}
+		}))
 	}
 
-	var tests []*litmus.Test
+	var view *rmwtso.SuiteView
 	switch {
 	case *suite:
-		tests = litmus.AllTests()
-	case *testName != "":
-		t := litmus.FindTest(*testName)
-		if t == nil {
-			fatal(fmt.Errorf("unknown test %q; available tests:\n  %s", *testName, strings.Join(testNames(), "\n  ")))
+		view = rmwtso.Suite()
+	case *filter != "":
+		view = rmwtso.Suite().Filter(*filter)
+		if view.Err() == nil && view.Len() == 0 {
+			fatal(fmt.Errorf("no registered test matches %q; available tests:\n  %s",
+				*filter, strings.Join(rmwtso.Suite().Names(), "\n  ")))
 		}
-		tests = []*litmus.Test{t}
+	case *testName != "":
+		t := rmwtso.FindTest(*testName)
+		if t == nil {
+			fatal(fmt.Errorf("unknown test %q; available tests:\n  %s",
+				*testName, strings.Join(rmwtso.Suite().Names(), "\n  ")))
+		}
+		view = rmwtso.TestsOf(t)
 	case *file != "":
 		data, err := os.ReadFile(*file)
 		if err != nil {
 			fatal(err)
 		}
-		t, err := litmus.Parse(string(data))
+		t, err := rmwtso.ParseTest(string(data))
 		if err != nil {
 			fatal(err)
 		}
-		tests = []*litmus.Test{t}
+		view = rmwtso.TestsOf(t)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	results, err := view.Run(opts...)
+	if err != nil {
+		fatal(err)
+	}
 	mismatches := 0
-	var results []litmus.Result
-	for _, test := range tests {
-		for _, typ := range types {
-			r, err := test.Run(typ)
-			if err != nil {
-				fatal(err)
-			}
-			results = append(results, r)
-			if !r.Matches {
-				mismatches++
-			}
-			if *verbose {
-				fmt.Printf("%s under %s: condition %s -> %v\n", test.Name, typ, test.Cond, r.Holds)
-				for _, key := range r.Outcomes.Keys() {
-					fmt.Printf("    %s\n", key)
-				}
-			}
+	for _, r := range results {
+		if !r.Matches {
+			mismatches++
 		}
 	}
-	fmt.Print(litmus.Report(results))
+	fmt.Print(rmwtso.Report(results))
 	if mismatches > 0 {
 		fmt.Fprintf(os.Stderr, "%d result(s) do not match their recorded expectation\n", mismatches)
 		os.Exit(1)
 	}
-}
-
-func testNames() []string {
-	var out []string
-	for _, t := range litmus.AllTests() {
-		out = append(out, t.Name)
-	}
-	return out
 }
 
 func fatal(err error) {

@@ -7,6 +7,7 @@
 //	rmwsim -bench bayes -type type-2
 //	rmwsim -bench wsq-mst -replace read -type type-3 -cores 16
 //	rmwsim -bench fig10 -type type-2 -naive       demonstrate the write-deadlock
+//	rmwsim -bench bayes -sweep                    compare all three RMW types
 //	rmwsim -list                                   list the available benchmarks
 package main
 
@@ -16,9 +17,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/pkg/rmwtso"
 )
 
 func main() {
@@ -30,31 +29,52 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "iteration-count scale factor")
 		seed      = flag.Int64("seed", 20130601, "workload generation seed")
 		naive     = flag.Bool("naive", false, "disable the bloom-filter deadlock avoidance (type-2/3 only)")
+		sweep     = flag.Bool("sweep", false, "run the trace under all three RMW types in parallel")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("Benchmarks:", strings.Join(workload.ProfileNames(), ", "), "and fig10")
+		fmt.Println("Benchmarks:", strings.Join(rmwtso.ProfileNames(), ", "), "and fig10")
 		return
 	}
 
-	typ, err := core.ParseAtomicityType(*typeName)
+	typ, err := rmwtso.ParseAtomicityType(*typeName)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := sim.DefaultConfig().WithCores(*cores).WithRMWType(typ)
+	cfg := rmwtso.DefaultSimConfig().WithCores(*cores)
 	cfg.DisableDeadlockAvoidance = *naive
 
 	trace, err := buildTrace(*benchName, *replace, *cores, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	simulator, err := sim.New(cfg)
-	if err != nil {
-		fatal(err)
+
+	if *sweep {
+		// -sweep compares the RMW types, so an explicit -type contradicts
+		// it; reject the combination instead of silently ignoring one.
+		typeSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "type" {
+				typeSet = true
+			}
+		})
+		if typeSet {
+			fatal(fmt.Errorf("-sweep runs all three RMW types and cannot be combined with -type"))
+		}
+		runner := rmwtso.NewRunner()
+		runs, err := runner.SweepTrace(cfg, trace)
+		if err != nil {
+			fatal(err)
+		}
+		for _, run := range runs {
+			fmt.Print(run.Result.String())
+		}
+		return
 	}
-	res, err := simulator.Run(trace)
+
+	res, err := rmwtso.Simulate(cfg.WithRMWType(typ), trace)
 	if err != nil {
 		fatal(err)
 	}
@@ -65,11 +85,11 @@ func main() {
 	}
 }
 
-func buildTrace(bench, replace string, cores int, scale float64, seed int64) (*sim.Trace, error) {
+func buildTrace(bench, replace string, cores int, scale float64, seed int64) (*rmwtso.Trace, error) {
 	if bench == "fig10" {
-		return fig10Trace(cores), nil
+		return rmwtso.Fig10Trace(cores), nil
 	}
-	profile, err := workload.FindProfile(bench)
+	profile, err := rmwtso.FindProfile(bench)
 	if err != nil {
 		return nil, err
 	}
@@ -80,30 +100,17 @@ func buildTrace(bench, replace string, cores int, scale float64, seed int64) (*s
 		}
 		profile.Iterations = n
 	}
-	gen := workload.Generator{Cores: cores, Seed: seed}
+	gen := rmwtso.Generator{Cores: cores, Seed: seed}
 	switch replace {
 	case "none", "":
 	case "read":
-		gen.Replacement = workload.ReadReplacement
+		gen.Replacement = rmwtso.ReadReplacement
 	case "write":
-		gen.Replacement = workload.WriteReplacement
+		gen.Replacement = rmwtso.WriteReplacement
 	default:
 		return nil, fmt.Errorf("unknown replacement %q (want none, read or write)", replace)
 	}
 	return gen.Generate(profile)
-}
-
-// fig10Trace reproduces the write-deadlock pattern of the paper's Fig. 10
-// on the first two cores: each core writes a line the other core owns and
-// then RMWs a line it owns itself.
-func fig10Trace(cores int) *sim.Trace {
-	const lineA, lineB = 0x10000, 0x20000
-	tr := sim.NewTrace("fig10", cores)
-	tr.Append(0, sim.RMW(lineB), sim.Compute(5000))
-	tr.Append(1, sim.RMW(lineA), sim.Compute(5000))
-	tr.Append(0, sim.Write(lineA), sim.RMW(lineB), sim.Fence(), sim.Compute(1))
-	tr.Append(1, sim.Write(lineB), sim.RMW(lineA), sim.Fence(), sim.Compute(1))
-	return tr
 }
 
 func fatal(err error) {

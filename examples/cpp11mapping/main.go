@@ -3,7 +3,9 @@
 // read-write-, read- and write-mappings, model-checks the compiled programs
 // under type-1/2/3 RMWs, and reports which combinations are sound -- in
 // particular the appendix's result that the write-mapping breaks with
-// type-3 RMWs, with the Dekker counterexample printed.
+// type-3 RMWs, with the Dekker counterexample printed. The validation
+// matrix (program x mapping x atomicity type) is swept in parallel through
+// the Runner.
 //
 // Run with:
 //
@@ -14,15 +16,13 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/cpp11"
+	"repro/pkg/rmwtso"
 )
 
 func main() {
-	programs := cpp11.ValidationPrograms()
-	for _, p := range programs {
+	for _, p := range rmwtso.Cpp11ValidationSuite().Programs() {
 		fmt.Printf("program %s:\n%s\n", p.Name, p)
-		sem, err := cpp11.Analyze(p)
+		sem, err := rmwtso.AnalyzeCpp11(p)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -33,17 +33,23 @@ func main() {
 		}
 		fmt.Println()
 
-		for _, mapping := range cpp11.AllMappings() {
-			compiled, err := cpp11.Compile(p, mapping)
+		// Sweep the mapping x atomicity matrix for this program in
+		// parallel; results come back in (mapping, type) order.
+		results, err := rmwtso.NewRunner().ValidateMappings(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		byMapping := map[rmwtso.Mapping][]rmwtso.MappingResult{}
+		for _, res := range results {
+			byMapping[res.Mapping] = append(byMapping[res.Mapping], res)
+		}
+		for _, mapping := range rmwtso.AllMappings() {
+			compiled, err := rmwtso.CompileCpp11(p, mapping)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("%s compiles to:\n%s", mapping, compiled)
-			for _, typ := range core.AllTypes() {
-				res, err := cpp11.ValidateMapping(p, mapping, typ)
-				if err != nil {
-					log.Fatal(err)
-				}
+			for _, res := range byMapping[mapping] {
 				fmt.Printf("  %s\n", res)
 			}
 			fmt.Println()

@@ -15,33 +15,14 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/pkg/rmwtso"
 )
 
-// fig10 builds the deadlock-prone access pattern: after a warm-up that
-// makes each core the owner of the line it will RMW, core 0 writes line A
-// and RMWs line B while core 1 writes line B and RMWs line A. The final
-// fences stand in for the rest of the program waiting on the store buffer.
-func fig10(cores int) *sim.Trace {
-	const lineA, lineB = 0x10000, 0x20000
-	tr := sim.NewTrace("fig10", cores)
-	tr.Append(0, sim.RMW(lineB), sim.Compute(5000))
-	tr.Append(1, sim.RMW(lineA), sim.Compute(5000))
-	tr.Append(0, sim.Write(lineA), sim.RMW(lineB), sim.Fence(), sim.Compute(1))
-	tr.Append(1, sim.Write(lineB), sim.RMW(lineA), sim.Fence(), sim.Compute(1))
-	return tr
-}
-
-func run(naive bool) *sim.Result {
-	cfg := sim.DefaultConfig().WithCores(2).WithRMWType(core.Type2)
+func run(naive bool) *rmwtso.SimResult {
+	cfg := rmwtso.DefaultSimConfig().WithCores(2).WithRMWType(rmwtso.Type2)
 	cfg.DisableDeadlockAvoidance = naive
 	cfg.MaxCycles = 1_000_000
-	simulator, err := sim.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := simulator.Run(fig10(2))
+	res, err := rmwtso.Simulate(cfg, rmwtso.Fig10Trace(2))
 	if err != nil {
 		log.Fatal(err)
 	}

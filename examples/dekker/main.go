@@ -15,28 +15,26 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/litmus"
-	"repro/internal/memmodel"
+	"repro/pkg/rmwtso"
 )
 
 func main() {
-	tests := litmus.PaperSuite()
 	fmt.Println("Table 1 idioms, model-checked under type-1/2/3 RMWs")
 	fmt.Println("(\"works\" means the mutual-exclusion-failure outcome is forbidden)")
 	fmt.Println()
-	for _, test := range tests {
+
+	for _, test := range rmwtso.PaperSuite().Tests() {
 		fmt.Printf("%s\n  %s\n", test.Name, test.Doc)
-		for _, typ := range core.AllTypes() {
-			res, err := test.Run(typ)
-			if err != nil {
-				log.Fatal(err)
-			}
+		results, err := rmwtso.TestsOf(test).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range results {
 			works := "works"
 			if res.Holds {
 				works = "BROKEN (bad outcome allowed)"
 			}
-			fmt.Printf("    %-7s %s\n", typ, works)
+			fmt.Printf("    %-7s %s\n", res.Atomicity, works)
 		}
 		fmt.Println()
 	}
@@ -47,34 +45,39 @@ func main() {
 // explainWriteReplacement digs into one execution of the Fig. 3 program to
 // show the machinery: the ato edges type-2 atomicity induces and a witness
 // global memory order, versus the type-3 execution that breaks mutual
-// exclusion.
+// exclusion. The candidate enumeration streams and stops at the first
+// matching execution instead of materializing the whole candidate set.
 func explainWriteReplacement() {
 	fmt.Println("== Why type-2 works for write replacement but type-3 does not ==")
-	test := litmus.DekkerWriteReplacement()
-	execs, err := memmodel.Enumerate(test.Program)
-	if err != nil {
-		log.Fatal(err)
+	test := rmwtso.FindTest("dekker-write-replacement (Fig. 3)")
+	if test == nil {
+		log.Fatal("Fig. 3 test not registered")
 	}
-	for _, x := range execs {
+	var found *rmwtso.Execution
+	err := rmwtso.EnumerateExecutionsFunc(test.Program, func(x *rmwtso.Execution) bool {
 		regs := x.RegisterValues()
 		// The problematic candidate: both observation reads return 0.
 		if regs["P0:r0"] != 0 || regs["P1:r1"] != 0 {
-			continue
+			return true
 		}
 		if !x.Uniproc() {
-			continue
+			return true
 		}
-		fmt.Println("candidate execution with r0=0 and r1=0:")
-		fmt.Print(x)
-
-		m2 := core.NewModel(core.Type2)
-		fmt.Println("\nunder type-2 atomicity:")
-		fmt.Print(m2.Explain(x))
-
-		m3 := core.NewModel(core.Type3)
-		fmt.Println("\nunder type-3 atomicity:")
-		fmt.Print(m3.Explain(x))
-		return
+		found = x
+		return false // stop the enumeration early
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	log.Fatal("no candidate execution with the bad outcome found")
+	if found == nil {
+		log.Fatal("no candidate execution with the bad outcome found")
+	}
+	fmt.Println("candidate execution with r0=0 and r1=0:")
+	fmt.Print(found)
+
+	fmt.Println("\nunder type-2 atomicity:")
+	fmt.Print(rmwtso.NewModel(rmwtso.Type2).Explain(found))
+
+	fmt.Println("\nunder type-3 atomicity:")
+	fmt.Print(rmwtso.NewModel(rmwtso.Type3).Explain(found))
 }

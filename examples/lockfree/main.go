@@ -2,7 +2,7 @@
 // work-stealing program (wsq-mst): the Chase-Lev deque's pop uses a
 // Dekker-like "write bottom; read top" synchronization whose SC accesses
 // can be compiled to RMWs either on the read side (wsq-mst_rr) or the write
-// side (wsq-mst_wr). The example simulates both variants under the RMW
+// side (wsq-mst_wr). The example sweeps both variants under the RMW
 // types that are sound for them and reports the per-RMW cost and execution
 // time, showing that read replacement puts more pending writes in front of
 // each RMW (costlier drains for type-1) and that type-3 RMWs give the read
@@ -17,55 +17,51 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/workload"
+	"repro/pkg/rmwtso"
 )
 
 func main() {
 	const cores = 8
-	profile := workload.WSQProfile()
+	profile := rmwtso.WSQProfile()
 	profile.Iterations = 120 // keep the example quick
 
 	variants := []struct {
 		name        string
-		replacement workload.Replacement
-		types       []core.AtomicityType
+		replacement rmwtso.Replacement
+		types       []rmwtso.AtomicityType
 	}{
 		// Type-3 RMWs cannot replace SC-atomic writes (§2.5), so the write
 		// replacement only runs under type-1 and type-2.
-		{"wsq-mst_wr (SC writes -> RMW)", workload.WriteReplacement, []core.AtomicityType{core.Type1, core.Type2}},
-		{"wsq-mst_rr (SC reads -> RMW)", workload.ReadReplacement, core.AllTypes()},
+		{"wsq-mst_wr (SC writes -> RMW)", rmwtso.WriteReplacement, []rmwtso.AtomicityType{rmwtso.Type1, rmwtso.Type2}},
+		{"wsq-mst_rr (SC reads -> RMW)", rmwtso.ReadReplacement, rmwtso.AllTypes()},
 	}
 
+	cfg := rmwtso.DefaultSimConfig().WithCores(cores)
 	for _, v := range variants {
 		fmt.Println(v.name)
-		gen := workload.Generator{Cores: cores, Seed: 7, Replacement: v.replacement}
+		gen := rmwtso.Generator{Cores: cores, Seed: 7, Replacement: v.replacement}
 		trace, err := gen.Generate(profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner := rmwtso.NewRunner(rmwtso.WithRMWTypes(v.types...))
+		runs, err := runner.SweepTrace(cfg, trace)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var baseCost float64
 		var baseCycles uint64
-		for _, typ := range v.types {
-			simulator, err := sim.New(sim.DefaultConfig().WithCores(cores).WithRMWType(typ))
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := simulator.Run(trace)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for _, run := range runs {
+			res := run.Result
 			wb, rawa, total := res.AvgRMWCost()
 			fmt.Printf("  %-7s RMW cost %6.1f (WB %5.1f + Ra/Wa %5.1f)  exec %8d cycles  overhead %5.2f%%",
-				typ, total, wb, rawa, res.Cycles, res.RMWOverheadPercent())
-			if typ == core.Type1 {
+				run.Type, total, wb, rawa, res.Cycles, res.RMWOverheadPercent())
+			if run.Type == rmwtso.Type1 {
 				baseCost, baseCycles = total, res.Cycles
 			} else {
 				fmt.Printf("  (RMW -%.1f%%, exec -%.1f%%)",
-					stats.PercentReduction(baseCost, total),
-					stats.PercentReduction(float64(baseCycles), float64(res.Cycles)))
+					rmwtso.PercentReduction(baseCost, total),
+					rmwtso.PercentReduction(float64(baseCycles), float64(res.Cycles)))
 			}
 			fmt.Println()
 		}

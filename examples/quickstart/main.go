@@ -1,11 +1,12 @@
-// Quickstart: the two halves of the library in one small program.
+// Quickstart: the two halves of the library in one small program, driven
+// entirely through the public pkg/rmwtso API.
 //
 // First the semantics side: model-check Dekker's algorithm with its writes
 // replaced by RMWs (the paper's Fig. 3) under the three RMW atomicity
 // definitions and print which of them preserve mutual exclusion. Then the
-// implementation side: run a small lock-based workload on the simulated
-// chip multiprocessor with type-1 and type-2 RMWs and print how much
-// cheaper the weaker RMW is.
+// implementation side: sweep a small lock-based workload across the RMW
+// types on the simulated chip multiprocessor and print how much cheaper
+// the weaker RMWs are.
 //
 // Run with:
 //
@@ -16,11 +17,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/litmus"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/workload"
+	"repro/pkg/rmwtso"
 )
 
 func main() {
@@ -31,30 +28,34 @@ func main() {
 // semantics model-checks the Fig. 3 litmus test under type-1/2/3 RMWs.
 func semantics() {
 	fmt.Println("== Semantics: Dekker's with writes replaced by RMWs (Fig. 3) ==")
-	test := litmus.DekkerWriteReplacement()
+	test := rmwtso.FindTest("dekker-write-replacement (Fig. 3)")
+	if test == nil {
+		log.Fatal("Fig. 3 test not registered")
+	}
 	fmt.Printf("program:\n%s", test.Program)
 	fmt.Printf("mutual exclusion fails iff: %s\n\n", test.Cond)
-	for _, typ := range core.AllTypes() {
-		result, err := test.Run(typ)
-		if err != nil {
-			log.Fatal(err)
-		}
+
+	results, err := rmwtso.TestsOf(test).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, result := range results {
 		verdict := "mutual exclusion preserved"
 		if result.Holds {
 			verdict = "MUTUAL EXCLUSION CAN FAIL"
 		}
 		fmt.Printf("  %-7s %-28s (%d valid executions of %d candidates)\n",
-			typ, verdict, result.ValidExecutions, result.Candidates)
+			result.Atomicity, verdict, result.ValidExecutions, result.Candidates)
 	}
 	fmt.Println()
 }
 
-// implementation compares type-1 and type-2 RMW cost on a small simulated
-// machine.
+// implementation compares the RMW types' cost on a small simulated
+// machine, sweeping the three types in parallel.
 func implementation() {
 	fmt.Println("== Implementation: per-RMW cost on the simulated CMP ==")
-	gen := workload.Generator{Cores: 8, Seed: 1}
-	profile, err := workload.FindProfile("radiosity")
+	gen := rmwtso.Generator{Cores: 8, Seed: 1}
+	profile, err := rmwtso.FindProfile("radiosity")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,22 +65,21 @@ func implementation() {
 		log.Fatal(err)
 	}
 
-	cfg := sim.DefaultConfig().WithCores(8)
-	results, err := sim.RunAllTypes(cfg, trace)
+	cfg := rmwtso.DefaultSimConfig().WithCores(8)
+	runs, err := rmwtso.NewRunner().SweepTrace(cfg, trace)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := results[core.Type1.String()]
+	base := runs[0].Result // the sweep preserves type order: type-1 first
 	_, _, baseCost := base.AvgRMWCost()
-	for _, typ := range core.AllTypes() {
-		res := results[typ.String()]
-		wb, rawa, total := res.AvgRMWCost()
+	for _, run := range runs {
+		wb, rawa, total := run.Result.AvgRMWCost()
 		fmt.Printf("  %-7s avg RMW cost %6.1f cycles (write-buffer %5.1f + Ra/Wa %5.1f), execution %d cycles",
-			typ, total, wb, rawa, res.Cycles)
-		if typ != core.Type1 {
+			run.Type, total, wb, rawa, run.Result.Cycles)
+		if run.Type != rmwtso.Type1 {
 			fmt.Printf("  -> %.1f%% cheaper per RMW, %.1f%% faster overall",
-				stats.PercentReduction(baseCost, total),
-				stats.PercentReduction(float64(base.Cycles), float64(res.Cycles)))
+				rmwtso.PercentReduction(baseCost, total),
+				rmwtso.PercentReduction(float64(base.Cycles), float64(run.Result.Cycles)))
 		}
 		fmt.Println()
 	}

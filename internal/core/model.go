@@ -36,17 +36,27 @@ func (m *Model) Valid(x *memmodel.Execution) bool {
 // ValidExecutions enumerates all candidate executions of the program and
 // returns the valid ones.
 func (m *Model) ValidExecutions(p *memmodel.Program) ([]*memmodel.Execution, error) {
-	cands, err := memmodel.Enumerate(p)
+	var out []*memmodel.Execution
+	err := m.ValidExecutionsFunc(p, func(x *memmodel.Execution) bool {
+		out = append(out, x)
+		return true
+	})
 	if err != nil {
 		return nil, err
 	}
-	var out []*memmodel.Execution
-	for _, x := range cands {
-		if m.Valid(x) {
-			out = append(out, x)
-		}
-	}
 	return out, nil
+}
+
+// ValidExecutionsFunc streams the valid executions of the program to visit
+// without materializing the candidate set. Returning false from visit stops
+// the enumeration early.
+func (m *Model) ValidExecutionsFunc(p *memmodel.Program, visit func(*memmodel.Execution) bool) error {
+	return memmodel.EnumerateFunc(p, func(x *memmodel.Execution) bool {
+		if !m.Valid(x) {
+			return true
+		}
+		return visit(x)
+	})
 }
 
 // Outcome is one observable result of a program: the final values of all
@@ -158,32 +168,35 @@ func (s *OutcomeSet) Equal(other *OutcomeSet) bool {
 }
 
 // Outcomes model-checks the program: it enumerates candidate executions,
-// filters the valid ones, and returns the set of observable outcomes.
+// filters the valid ones, and returns the set of observable outcomes. The
+// candidates are streamed, never materialized.
 func (m *Model) Outcomes(p *memmodel.Program) (*OutcomeSet, error) {
-	execs, err := m.ValidExecutions(p)
+	set := NewOutcomeSet()
+	err := m.ValidExecutionsFunc(p, func(x *memmodel.Execution) bool {
+		set.Add(OutcomeOf(x))
+		return true
+	})
 	if err != nil {
 		return nil, err
-	}
-	set := NewOutcomeSet()
-	for _, x := range execs {
-		set.Add(OutcomeOf(x))
 	}
 	return set, nil
 }
 
 // Allows reports whether some valid execution of the program satisfies the
-// predicate over its outcome.
+// predicate over its outcome. The enumeration stops at the first witness.
 func (m *Model) Allows(p *memmodel.Program, pred func(Outcome) bool) (bool, error) {
-	execs, err := m.ValidExecutions(p)
+	found := false
+	err := m.ValidExecutionsFunc(p, func(x *memmodel.Execution) bool {
+		if pred(OutcomeOf(x)) {
+			found = true
+			return false
+		}
+		return true
+	})
 	if err != nil {
 		return false, err
 	}
-	for _, x := range execs {
-		if pred(OutcomeOf(x)) {
-			return true, nil
-		}
-	}
-	return false, nil
+	return found, nil
 }
 
 // Forbids reports whether no valid execution of the program satisfies the

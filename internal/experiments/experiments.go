@@ -75,6 +75,11 @@ func (o Options) baseConfig() sim.Config {
 	return cfg
 }
 
+// ScaledProfile returns a copy of the profile with its iteration count
+// scaled by the options' Scale factor. Exported so external harnesses
+// (pkg/rmwtso's parallel sweeps) apply exactly the same scaling rule.
+func (o Options) ScaledProfile(p workload.Profile) workload.Profile { return o.scaled(p) }
+
 // scaled returns a copy of the profile with its iteration count scaled.
 func (o Options) scaled(p workload.Profile) workload.Profile {
 	if o.Scale > 0 && o.Scale != 1.0 {
@@ -128,12 +133,43 @@ func runBenchmark(o Options, p workload.Profile, variant workload.Replacement, t
 	return run, nil
 }
 
-// RunTable3Benchmarks simulates the seven Table 3 benchmarks under all
-// three RMW types. The result feeds Table 3 and Fig. 11(a)/(b).
-func RunTable3Benchmarks(o Options) ([]*BenchmarkRun, error) {
-	var out []*BenchmarkRun
+// BenchmarkSpec describes one benchmark of the evaluation: the profile,
+// its replacement variant and the RMW types it runs under. The spec
+// lists below are the single source of truth for both the sequential
+// harness here and the parallel sweeps in pkg/rmwtso.
+type BenchmarkSpec struct {
+	Profile workload.Profile
+	Variant workload.Replacement
+	Types   []core.AtomicityType
+}
+
+// Table3Specs lists the seven Table 3 benchmarks, each run under all
+// three RMW types.
+func Table3Specs() []BenchmarkSpec {
+	var out []BenchmarkSpec
 	for _, p := range workload.Table3Profiles() {
-		run, err := runBenchmark(o, p, workload.NoReplacement, core.AllTypes())
+		out = append(out, BenchmarkSpec{Profile: p, Variant: workload.NoReplacement, Types: core.AllTypes()})
+	}
+	return out
+}
+
+// Cpp11Specs lists the wsq-mst C/C++11 variants: write replacement
+// (wsq-mst_wr) under type-1 and type-2, and read replacement
+// (wsq-mst_rr) under all three types -- type-3 RMWs cannot be used for
+// write replacement (§2.5), so that combination is intentionally absent.
+func Cpp11Specs() []BenchmarkSpec {
+	wsq := workload.WSQProfile()
+	return []BenchmarkSpec{
+		{Profile: wsq, Variant: workload.WriteReplacement, Types: []core.AtomicityType{core.Type1, core.Type2}},
+		{Profile: wsq, Variant: workload.ReadReplacement, Types: core.AllTypes()},
+	}
+}
+
+// runSpecs simulates each spec sequentially.
+func runSpecs(o Options, specs []BenchmarkSpec) ([]*BenchmarkRun, error) {
+	var out []*BenchmarkRun
+	for _, s := range specs {
+		run, err := runBenchmark(o, s.Profile, s.Variant, s.Types)
 		if err != nil {
 			return nil, err
 		}
@@ -142,19 +178,14 @@ func RunTable3Benchmarks(o Options) ([]*BenchmarkRun, error) {
 	return out, nil
 }
 
-// RunCpp11Benchmarks simulates the wsq-mst C/C++11 variants: write
-// replacement (wsq-mst_wr) under type-1 and type-2, and read replacement
-// (wsq-mst_rr) under all three types -- type-3 RMWs cannot be used for
-// write replacement (§2.5), so that combination is intentionally absent.
+// RunTable3Benchmarks simulates the seven Table 3 benchmarks under all
+// three RMW types. The result feeds Table 3 and Fig. 11(a)/(b).
+func RunTable3Benchmarks(o Options) ([]*BenchmarkRun, error) {
+	return runSpecs(o, Table3Specs())
+}
+
+// RunCpp11Benchmarks simulates the wsq-mst C/C++11 variants of
+// Cpp11Specs.
 func RunCpp11Benchmarks(o Options) ([]*BenchmarkRun, error) {
-	wsq := workload.WSQProfile()
-	wr, err := runBenchmark(o, wsq, workload.WriteReplacement, []core.AtomicityType{core.Type1, core.Type2})
-	if err != nil {
-		return nil, err
-	}
-	rr, err := runBenchmark(o, wsq, workload.ReadReplacement, core.AllTypes())
-	if err != nil {
-		return nil, err
-	}
-	return []*BenchmarkRun{wr, rr}, nil
+	return runSpecs(o, Cpp11Specs())
 }

@@ -201,20 +201,23 @@ func (r Result) String() string {
 		r.Test.Name, r.Atomicity, r.Holds, exp, r.ValidExecutions, r.Candidates, status)
 }
 
-// Run model-checks the test under the given atomicity type.
+// Run model-checks the test under the given atomicity type. Candidate
+// executions are streamed through the model's validity filter one at a
+// time, so the full candidate set is never materialized.
 func (t *Test) Run(typ core.AtomicityType) (Result, error) {
 	model := core.NewModel(typ)
-	cands, err := memmodel.Enumerate(t.Program)
-	if err != nil {
-		return Result{}, fmt.Errorf("litmus: %s: %w", t.Name, err)
-	}
 	set := core.NewOutcomeSet()
-	valid := 0
-	for _, x := range cands {
+	valid, candidates := 0, 0
+	err := memmodel.EnumerateFunc(t.Program, func(x *memmodel.Execution) bool {
+		candidates++
 		if model.Valid(x) {
 			valid++
 			set.Add(core.OutcomeOf(x))
 		}
+		return true
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("litmus: %s: %w", t.Name, err)
 	}
 	holds := t.Cond.Evaluate(set.Outcomes())
 	res := Result{
@@ -223,7 +226,7 @@ func (t *Test) Run(typ core.AtomicityType) (Result, error) {
 		Holds:           holds,
 		Matches:         true,
 		ValidExecutions: valid,
-		Candidates:      len(cands),
+		Candidates:      candidates,
 		Outcomes:        set,
 	}
 	if exp, ok := t.Expected[typ]; ok {

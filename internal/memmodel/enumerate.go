@@ -2,27 +2,46 @@ package memmodel
 
 import "fmt"
 
-// Enumerate generates all candidate executions of a litmus program: every
-// combination of a reads-from map (each read may read from any write to
-// the same location, including the initial write, but not from the write
-// half of its own RMW) and a per-location write serialization (every
-// permutation of the non-initial writes, with the initial write first).
+// Enumerate generates all candidate executions of a litmus program. It is
+// a convenience wrapper around EnumerateFunc that materializes the whole
+// candidate set; callers that only need to scan candidates (validity
+// filtering, outcome collection) should prefer EnumerateFunc, which
+// allocates one execution at a time.
+func Enumerate(p *Program) ([]*Execution, error) {
+	var out []*Execution
+	err := EnumerateFunc(p, func(x *Execution) bool {
+		out = append(out, x)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EnumerateFunc generates all candidate executions of a litmus program and
+// streams them to visit, one at a time: every combination of a reads-from
+// map (each read may read from any write to the same location, including
+// the initial write, but not from the write half of its own RMW) and a
+// per-location write serialization (every permutation of the non-initial
+// writes, with the initial write first).
 //
 // Values are then propagated: plain writes keep their program value and
 // RMW writes receive Modify(value read by their read half). Candidates
 // whose value propagation does not converge (cyclic value dependencies
-// through RMWs) are dropped.
+// through RMWs) are dropped and never reach visit.
 //
-// The returned executions are candidates only: callers must still filter
+// The visited executions are candidates only: callers must still filter
 // by validity (Execution.BaseValid for the base model, or the RMW-aware
-// check in internal/core).
-func Enumerate(p *Program) ([]*Execution, error) {
+// check in internal/core). Each visited execution owns its events and may
+// be retained. Returning false from visit stops the enumeration early.
+func EnumerateFunc(p *Program, visit func(*Execution) bool) error {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	events, err := buildEvents(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// Group writes and reads by location.
@@ -49,7 +68,7 @@ func Enumerate(p *Program) ([]*Execution, error) {
 			choices[i] = append(choices[i], w)
 		}
 		if len(choices[i]) == 0 {
-			return nil, fmt.Errorf("memmodel: read %s has no candidate writes", r)
+			return fmt.Errorf("memmodel: read %s has no candidate writes", r)
 		}
 	}
 
@@ -74,9 +93,9 @@ func Enumerate(p *Program) ([]*Execution, error) {
 		}
 	}
 
-	var out []*Execution
 	rfAssign := make([]int, len(reads))
 	wsAssign := make([]int, len(addrs))
+	stopped := false
 
 	var rec func(level int)
 	buildWS := func() map[Addr][]int {
@@ -91,30 +110,43 @@ func Enumerate(p *Program) ([]*Execution, error) {
 	}
 	var recWS func(level int)
 	recWS = func(level int) {
+		if stopped {
+			return
+		}
 		if level == len(addrs) {
-			exec := assemble(p, events, reads, rfAssign, buildWS())
-			if exec != nil {
-				out = append(out, exec)
+			if exec := assemble(p, events, reads, rfAssign, buildWS()); exec != nil {
+				if !visit(exec) {
+					stopped = true
+				}
 			}
 			return
 		}
 		for i := range wsChoices[level] {
+			if stopped {
+				return
+			}
 			wsAssign[level] = i
 			recWS(level + 1)
 		}
 	}
 	rec = func(level int) {
+		if stopped {
+			return
+		}
 		if level == len(reads) {
 			recWS(0)
 			return
 		}
 		for _, w := range choices[level] {
+			if stopped {
+				return
+			}
 			rfAssign[level] = w
 			rec(level + 1)
 		}
 	}
 	rec(0)
-	return out, nil
+	return nil
 }
 
 // CountCandidates returns the number of candidate executions Enumerate

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/bloom"
-	"repro/internal/core"
 	"repro/internal/sim/cache"
 	"repro/internal/sim/directory"
 	"repro/internal/sim/mesh"
@@ -102,23 +101,4 @@ func (s *Simulator) Run(trace *Trace) (*Result, error) {
 		res.Deadlocked = true
 	}
 	return res, nil
-}
-
-// RunAllTypes runs the trace under type-1, type-2 and type-3 RMWs using the
-// same base configuration, returning one result per atomicity type keyed by
-// the type's name. It is the common harness for the Fig. 11 experiments.
-func RunAllTypes(cfg Config, trace *Trace) (map[string]*Result, error) {
-	out := map[string]*Result{}
-	for _, t := range core.AllTypes() {
-		sim, err := New(cfg.WithRMWType(t))
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(trace)
-		if err != nil {
-			return nil, err
-		}
-		out[t.String()] = res
-	}
-	return out, nil
 }

@@ -315,22 +315,12 @@ func TestType3NaiveAlsoDeadlocks(t *testing.T) {
 	}
 }
 
-func TestRunAllTypes(t *testing.T) {
+func TestAllTypesOnOneTrace(t *testing.T) {
 	trace := NewTrace("all-types", 2)
 	trace.Append(0, Write(0x1200), RMW(0x1300), Read(0x1400))
 	trace.Append(1, RMW(0x1300), Write(0x1400))
-	results, err := RunAllTypes(testConfig(), trace)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(results) != 3 {
-		t.Fatalf("results = %d, want 3", len(results))
-	}
 	for _, typ := range core.AllTypes() {
-		res, ok := results[typ.String()]
-		if !ok {
-			t.Fatalf("missing result for %s", typ)
-		}
+		res := runTrace(t, testConfig().WithRMWType(typ), trace)
 		if res.RMWType != typ {
 			t.Errorf("result labelled %s, want %s", res.RMWType, typ)
 		}

@@ -252,13 +252,21 @@ func TestGeneratedTracesRunOnSimulator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		results, err := sim.RunAllTypes(cfg, trace)
-		if err != nil {
-			t.Fatalf("%s: %v", p.Name, err)
+		results := map[core.AtomicityType]*sim.Result{}
+		for _, typ := range core.AllTypes() {
+			s, err := sim.New(cfg.WithRMWType(typ))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(trace)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", p.Name, typ, err)
+			}
+			results[typ] = res
 		}
-		t1 := results[core.Type1.String()]
-		t2 := results[core.Type2.String()]
-		t3 := results[core.Type3.String()]
+		t1 := results[core.Type1]
+		t2 := results[core.Type2]
+		t3 := results[core.Type3]
 		for _, r := range []*sim.Result{t1, t2, t3} {
 			if r.Deadlocked {
 				t.Fatalf("%s [%s]: deadlocked", p.Name, r.RMWType)

@@ -1,0 +1,207 @@
+package rmwtso
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// deadlockError reports a benchmark run that wedged; experiment sweeps
+// treat deadlock as an error because only the Fig. 10 demo expects it.
+func deadlockError(name string, typ AtomicityType) error {
+	return fmt.Errorf("rmwtso: %s under %s deadlocked", name, typ)
+}
+
+// Options configure an experiment run: core count, workload scale, seed
+// and architectural overrides.
+type Options = experiments.Options
+
+// DefaultOptions reproduce the paper's setup (32 cores, full workloads).
+func DefaultOptions() Options { return experiments.DefaultOptions() }
+
+// QuickOptions shrink the runs for tests and benchmarks (8 cores, short
+// workloads, same structure).
+func QuickOptions() Options { return experiments.QuickOptions() }
+
+// BenchmarkRun holds the per-type simulation results for one benchmark,
+// the unit of data behind Table 3 and Fig. 11.
+type BenchmarkRun = experiments.BenchmarkRun
+
+// Rows and entries of the paper's tables and figures.
+type (
+	// Table1Row is one row of Table 1 (idiom support per atomicity type).
+	Table1Row = experiments.Table1Row
+	// Table3Row is one row of Table 3 (benchmark characteristics).
+	Table3Row = experiments.Table3Row
+	// Table4Row is one row of Table 4 (mapping soundness).
+	Table4Row = experiments.Table4Row
+	// Fig11aEntry is one benchmark's per-RMW cost split (Fig. 11a).
+	Fig11aEntry = experiments.Fig11aEntry
+	// Fig11bEntry is one benchmark's execution-time overhead (Fig. 11b).
+	Fig11bEntry = experiments.Fig11bEntry
+	// Summary is the headline summary of the evaluation.
+	Summary = experiments.Summary
+)
+
+// RunTable1 regenerates Table 1 by model checking the paper's litmus
+// tests and validating the C/C++11 mappings.
+func RunTable1() ([]Table1Row, error) { return experiments.RunTable1() }
+
+// CheckTable1Matches verifies the regenerated Table 1 against the paper.
+func CheckTable1Matches(rows []Table1Row) error { return experiments.CheckTable1Matches(rows) }
+
+// RenderTable1 renders Table 1 rows in the paper's layout.
+func RenderTable1(rows []Table1Row) string { return experiments.RenderTable1(rows) }
+
+// RenderTable2 renders the architectural parameters (Table 2).
+func RenderTable2(cfg SimConfig) string { return experiments.RenderTable2(cfg) }
+
+// Table3FromRuns derives the Table 3 rows from benchmark runs.
+func Table3FromRuns(runs []*BenchmarkRun) []Table3Row { return experiments.Table3FromRuns(runs) }
+
+// RenderTable3 renders Table 3 rows in the paper's layout.
+func RenderTable3(rows []Table3Row) string { return experiments.RenderTable3(rows) }
+
+// RunTable4 regenerates the Table 4 mapping-soundness matrix.
+func RunTable4() ([]Table4Row, error) { return experiments.RunTable4() }
+
+// RenderTable4 renders Table 4 rows in the paper's layout.
+func RenderTable4(rows []Table4Row) string { return experiments.RenderTable4(rows) }
+
+// Fig11FromRuns derives the Fig. 11(a) and (b) entries from benchmark
+// runs.
+func Fig11FromRuns(runs []*BenchmarkRun) ([]Fig11aEntry, []Fig11bEntry) {
+	return experiments.Fig11FromRuns(runs)
+}
+
+// RenderFig11a renders the per-RMW cost split chart.
+func RenderFig11a(entries []Fig11aEntry) string { return experiments.RenderFig11a(entries) }
+
+// RenderFig11b renders the execution-time overhead chart.
+func RenderFig11b(entries []Fig11bEntry) string { return experiments.RenderFig11b(entries) }
+
+// Summarize derives the headline summary from the figure entries.
+func Summarize(a []Fig11aEntry, b []Fig11bEntry) Summary { return experiments.Summarize(a, b) }
+
+// BenchmarkSpec describes one benchmark of a sweep: the profile, its
+// replacement variant, and the atomicity types it runs under.
+type BenchmarkSpec = experiments.BenchmarkSpec
+
+// Table3Specs lists the seven Table 3 benchmarks, each under all three
+// RMW types.
+func Table3Specs() []BenchmarkSpec { return experiments.Table3Specs() }
+
+// Cpp11Specs lists the wsq-mst C/C++11 replacement variants and the RMW
+// types that are sound for them.
+func Cpp11Specs() []BenchmarkSpec { return experiments.Cpp11Specs() }
+
+// specTypes intersects a spec's types with the Runner's configured
+// types, preserving the spec's order. With the default configuration
+// (all three types) this is the spec's list unchanged.
+func (r *Runner) specTypes(s BenchmarkSpec) []AtomicityType {
+	allowed := map[AtomicityType]bool{}
+	for _, t := range r.opts.types {
+		allowed[t] = true
+	}
+	var out []AtomicityType
+	for _, t := range s.Types {
+		if allowed[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RunBenchmarks generates each spec's trace and simulates every
+// (spec, type) pair across the worker pool, streaming each run to the
+// observer. A spec's types are intersected with the Runner's configured
+// types (WithRMWTypes); specs left with no types are dropped. Traces are
+// generated once per spec (in parallel) and shared read-only by the
+// per-type runs. Results come back in spec order with one ByType entry
+// per simulated type.
+func (r *Runner) RunBenchmarks(o Options, specs []BenchmarkSpec) ([]*BenchmarkRun, error) {
+	kept := make([]BenchmarkSpec, 0, len(specs))
+	types := make([][]AtomicityType, 0, len(specs))
+	for _, s := range specs {
+		ts := r.specTypes(s)
+		if len(ts) == 0 {
+			continue
+		}
+		kept = append(kept, s)
+		types = append(types, ts)
+	}
+
+	// Phase 1: generate the traces, one unit per spec.
+	traces := make([]*Trace, len(kept))
+	err := r.runUnits(len(kept), func(i int) error {
+		gen := workload.Generator{Cores: o.Cores, Seed: o.Seed, Replacement: kept[i].Variant}
+		tr, err := gen.Generate(o.ScaledProfile(kept[i].Profile))
+		if err != nil {
+			return err
+		}
+		traces[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: simulate, one unit per (spec, type) pair.
+	type unit struct {
+		si  int
+		typ AtomicityType
+	}
+	var units []unit
+	for si := range kept {
+		for _, typ := range types[si] {
+			units = append(units, unit{si, typ})
+		}
+	}
+	results := make([]*SimResult, len(units))
+	err = r.runUnits(len(units), func(i int) error {
+		u := units[i]
+		res, err := Simulate(o.BaseConfig().WithRMWType(u.typ), traces[u.si])
+		if err != nil {
+			return err
+		}
+		if res.Deadlocked {
+			return deadlockError(traces[u.si].Name, u.typ)
+		}
+		results[i] = res
+		r.emit(Event{Sim: &SimRun{Trace: traces[u.si].Name, Type: u.typ, Result: res}})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble in spec order.
+	runs := make([]*BenchmarkRun, len(kept))
+	for si, s := range kept {
+		runs[si] = &BenchmarkRun{
+			Profile: s.Profile,
+			Variant: s.Variant,
+			Name:    traces[si].Name,
+			ByType:  map[AtomicityType]*SimResult{},
+		}
+	}
+	for i, u := range units {
+		runs[u.si].ByType[u.typ] = results[i]
+	}
+	return runs, nil
+}
+
+// RunTable3Benchmarks simulates the Table 3 benchmark set across the
+// worker pool. The result feeds Table 3 and Fig. 11(a)/(b); note the
+// table and figure renderers expect all three types, so restrict
+// WithRMWTypes only for ad-hoc sweeps.
+func (r *Runner) RunTable3Benchmarks(o Options) ([]*BenchmarkRun, error) {
+	return r.RunBenchmarks(o, Table3Specs())
+}
+
+// RunCpp11Benchmarks simulates the wsq-mst C/C++11 variants of
+// Cpp11Specs across the pool.
+func (r *Runner) RunCpp11Benchmarks(o Options) ([]*BenchmarkRun, error) {
+	return r.RunBenchmarks(o, Cpp11Specs())
+}

@@ -1,0 +1,315 @@
+package rmwtso
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Event is one streamed result from a Runner: exactly one field is
+// non-nil. Events are delivered to the observer serially (never
+// concurrently), in completion order, as soon as each work unit finishes.
+type Event struct {
+	// Litmus is set when the unit was one litmus verdict.
+	Litmus *TestResult
+	// Mapping is set when the unit was one C/C++11 mapping validation.
+	Mapping *MappingResult
+	// Sim is set when the unit was one simulator run.
+	Sim *SimRun
+}
+
+// Observer receives streamed events. It is called from worker goroutines
+// but never concurrently, so it needs no locking of its own.
+type Observer func(Event)
+
+// ChannelObserver adapts a channel into an Observer. The caller owns the
+// channel and must drain it; sends block the pool when the channel is
+// unbuffered.
+func ChannelObserver(ch chan<- Event) Observer {
+	return func(e Event) { ch <- e }
+}
+
+// SimRun is one simulator run of a sweep: one trace under one RMW type.
+type SimRun struct {
+	// Trace is the name of the simulated trace.
+	Trace string
+	// Type is the RMW atomicity type the run used.
+	Type AtomicityType
+	// Result holds the run's statistics.
+	Result *SimResult
+}
+
+// options collects the Runner configuration set by functional options.
+type options struct {
+	ctx         context.Context
+	parallelism int
+	observer    Observer
+	types       []AtomicityType
+}
+
+// Option configures a Runner.
+type Option func(*options)
+
+// WithContext makes the Runner honour ctx: cancellation stops the sweep
+// before the next work unit and the in-flight results are discarded; the
+// Runner method returns ctx's error.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
+}
+
+// WithParallelism sets the worker-pool size. Values below 1 mean 1; the
+// default is runtime.GOMAXPROCS(0).
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
+// WithObserver streams every finished work unit to fn as it completes,
+// in completion order. fn is never called concurrently.
+func WithObserver(fn Observer) Option {
+	return func(o *options) { o.observer = fn }
+}
+
+// WithRMWTypes restricts the atomicity types the Runner checks or sweeps.
+// The default is all three types.
+func WithRMWTypes(types ...AtomicityType) Option {
+	return func(o *options) { o.types = append([]AtomicityType(nil), types...) }
+}
+
+// Runner fans work units — litmus verdicts, mapping validations,
+// simulator runs — across a goroutine pool, streaming each finished unit
+// to the observer while returning aggregates in deterministic order. A
+// Runner is safe for repeated use; each method call runs its own pool.
+type Runner struct {
+	opts   options
+	emitMu sync.Mutex
+}
+
+// NewRunner builds a Runner from the options.
+func NewRunner(opts ...Option) *Runner {
+	o := options{
+		ctx:         context.Background(),
+		parallelism: runtime.GOMAXPROCS(0),
+		types:       AllTypes(),
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.parallelism < 1 {
+		o.parallelism = 1
+	}
+	if len(o.types) == 0 {
+		o.types = AllTypes()
+	}
+	return &Runner{opts: o}
+}
+
+// Types returns the atomicity types the Runner is configured with.
+func (r *Runner) Types() []AtomicityType {
+	return append([]AtomicityType(nil), r.opts.types...)
+}
+
+// emit delivers one event to the observer, serialized across workers.
+func (r *Runner) emit(e Event) {
+	if r.opts.observer == nil {
+		return
+	}
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	r.opts.observer(e)
+}
+
+// runUnits executes run(0..n-1) on the worker pool. It returns the
+// context's error if cancelled, otherwise the first unit error. Units are
+// claimed in order but finish in any order; each unit writes only its own
+// result slot, so aggregates stay deterministic.
+func (r *Runner) runUnits(n int, run func(int) error) error {
+	ctx := r.opts.ctx
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	workers := r.opts.parallelism
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil || failed() {
+					continue
+				}
+				if err := run(i); err != nil {
+					setErr(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// CheckTests model-checks every test under every configured RMW type.
+// Each (test, type) verdict is one work unit; finished verdicts stream to
+// the observer immediately. The returned slice is ordered (test, type)
+// regardless of parallelism or completion order.
+func (r *Runner) CheckTests(tests ...*Test) ([]TestResult, error) {
+	types := r.opts.types
+	type unit struct{ ti, yi int }
+	units := make([]unit, 0, len(tests)*len(types))
+	for ti := range tests {
+		for yi := range types {
+			units = append(units, unit{ti, yi})
+		}
+	}
+	results := make([]TestResult, len(units))
+	err := r.runUnits(len(units), func(i int) error {
+		u := units[i]
+		res, err := tests[u.ti].Run(types[u.yi])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		r.emit(Event{Litmus: &results[i]})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// CheckSuite model-checks the full registered litmus suite; shorthand for
+// CheckTests over Suite().Tests().
+func (r *Runner) CheckSuite() ([]TestResult, error) {
+	return r.CheckTests(Suite().Tests()...)
+}
+
+// ValidateMappings validates every Table 4 mapping under every configured
+// RMW type for each program. Each (program, mapping, type) combination is
+// one work unit; the returned slice is ordered (program, mapping, type).
+func (r *Runner) ValidateMappings(programs ...*Cpp11Program) ([]MappingResult, error) {
+	mappings := AllMappings()
+	types := r.opts.types
+	type unit struct{ pi, mi, yi int }
+	units := make([]unit, 0, len(programs)*len(mappings)*len(types))
+	for pi := range programs {
+		for mi := range mappings {
+			for yi := range types {
+				units = append(units, unit{pi, mi, yi})
+			}
+		}
+	}
+	results := make([]MappingResult, len(units))
+	err := r.runUnits(len(units), func(i int) error {
+		u := units[i]
+		res, err := ValidateMapping(programs[u.pi], mappings[u.mi], types[u.yi])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		r.emit(Event{Mapping: &results[i]})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SweepTrace simulates one trace under every configured RMW type, one
+// run per work unit. The returned slice is ordered like the configured
+// types. The trace is shared read-only across the pool.
+func (r *Runner) SweepTrace(cfg SimConfig, trace *Trace) ([]SimRun, error) {
+	types := r.opts.types
+	runs := make([]SimRun, len(types))
+	err := r.runUnits(len(types), func(i int) error {
+		s, err := sim.New(cfg.WithRMWType(types[i]))
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			return err
+		}
+		runs[i] = SimRun{Trace: trace.Name, Type: types[i], Result: res}
+		r.emit(Event{Sim: &runs[i]})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// SweepTraces simulates every (trace, configured type) pair across the
+// pool. The returned slice is ordered (trace, type).
+func (r *Runner) SweepTraces(cfg SimConfig, traces ...*Trace) ([]SimRun, error) {
+	types := r.opts.types
+	type unit struct{ ti, yi int }
+	units := make([]unit, 0, len(traces)*len(types))
+	for ti := range traces {
+		for yi := range types {
+			units = append(units, unit{ti, yi})
+		}
+	}
+	runs := make([]SimRun, len(units))
+	err := r.runUnits(len(units), func(i int) error {
+		u := units[i]
+		s, err := sim.New(cfg.WithRMWType(types[u.yi]))
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(traces[u.ti])
+		if err != nil {
+			return err
+		}
+		runs[i] = SimRun{Trace: traces[u.ti].Name, Type: types[u.yi], Result: res}
+		r.emit(Event{Sim: &runs[i]})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}

@@ -364,6 +364,75 @@ func BenchmarkEnumerateStreaming(b *testing.B) {
 	}
 }
 
+// streamBenchProfile is the workload for the streamed-vs-materialized
+// trace comparison: a paper-scale-shaped run whose trace is long enough
+// that holding it in memory dominates the allocation profile.
+func streamBenchProfile(b *testing.B) (workload.Generator, workload.Profile) {
+	profile, err := workload.FindProfile("radiosity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile.Iterations = 256
+	return workload.Generator{Cores: 8, Seed: 31}, profile
+}
+
+// BenchmarkSimMaterializedTrace measures the pre-streaming end-to-end
+// path: generate the whole trace into memory, then simulate it. The
+// allocations include the O(cores × iterations × ops) trace slices.
+func BenchmarkSimMaterializedTrace(b *testing.B) {
+	gen, profile := streamBenchProfile(b)
+	cfg := sim.DefaultConfig().WithCores(8).WithRMWType(core.Type2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trace, err := gen.Generate(profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.TotalMemOps()), "trace-memops")
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		}
+	}
+}
+
+// BenchmarkSimStreamedTrace measures the same end-to-end run through the
+// streaming path: each core pulls its ops from the generator one episode
+// at a time, so only the O(episode) refill buffers are ever live. The
+// allocation win over BenchmarkSimMaterializedTrace is the figure to
+// track; the simulated statistics are identical by construction (asserted
+// by pkg/rmwtso's stream tests).
+func BenchmarkSimStreamedTrace(b *testing.B) {
+	gen, profile := streamBenchProfile(b)
+	cfg := sim.DefaultConfig().WithCores(8).WithRMWType(core.Type2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src, err := gen.Source(profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.RunSource(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.TotalMemOps()), "trace-memops")
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		}
+	}
+}
+
 // BenchmarkLitmusSuite measures the model checker on the full litmus suite,
 // one verdict per test and atomicity type.
 func BenchmarkLitmusSuite(b *testing.B) {

@@ -9,11 +9,15 @@
 //	experiments -quick                use the reduced configuration (8 cores, short workloads)
 //	experiments -cores 16 -scale 0.5  custom run size
 //	experiments -j 8                  simulation worker-pool parallelism
+//	experiments -materialize          pre-build whole traces in memory
 //
 // The semantics experiments (Tables 1 and 4) are exact model-checking
 // results and always match the paper. The simulation experiments (Table 3,
 // Fig. 11) reproduce the paper's shapes on the synthetic workloads; the
-// benchmark×type grid is swept in parallel across a worker pool.
+// benchmark×type grid is swept in parallel across a worker pool, with each
+// run streaming its trace from the workload generator at bounded memory
+// (pass -materialize to share pre-built traces across the RMW types
+// instead — identical results, more memory, no per-type regeneration).
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override the workload seed")
 		par      = flag.Int("j", 0, "simulation worker-pool parallelism (default: GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "stream per-run progress while simulating")
+		mat      = flag.Bool("materialize", false, "pre-build whole traces in memory instead of streaming them")
 	)
 	flag.Parse()
 
@@ -43,6 +48,7 @@ func main() {
 	if *quick {
 		opts = rmwtso.QuickOptions()
 	}
+	opts.Materialize = *mat
 	if *cores > 0 {
 		opts.Cores = *cores
 	}

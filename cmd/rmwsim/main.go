@@ -1,6 +1,7 @@
 // Command rmwsim runs one benchmark workload on the chip-multiprocessor
 // simulator and prints the run's statistics, including the per-RMW cost
-// split.
+// split. Workload traces are streamed from the generator one episode at a
+// time, so even very large -scale values run at bounded memory.
 //
 // Usage:
 //
@@ -46,7 +47,7 @@ func main() {
 	cfg := rmwtso.DefaultSimConfig().WithCores(*cores)
 	cfg.DisableDeadlockAvoidance = *naive
 
-	trace, err := buildTrace(*benchName, *replace, *cores, *scale, *seed)
+	source, err := buildSource(*benchName, *replace, *cores, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -64,7 +65,7 @@ func main() {
 			fatal(fmt.Errorf("-sweep runs all three RMW types and cannot be combined with -type"))
 		}
 		runner := rmwtso.NewRunner()
-		runs, err := runner.SweepTrace(cfg, trace)
+		runs, err := runner.SweepSource(cfg, source)
 		if err != nil {
 			fatal(err)
 		}
@@ -74,7 +75,7 @@ func main() {
 		return
 	}
 
-	res, err := rmwtso.Simulate(cfg.WithRMWType(typ), trace)
+	res, err := rmwtso.SimulateSource(cfg.WithRMWType(typ), source)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,9 +86,14 @@ func main() {
 	}
 }
 
-func buildTrace(bench, replace string, cores int, scale float64, seed int64) (*rmwtso.Trace, error) {
+func buildSource(bench, replace string, cores int, scale float64, seed int64) (rmwtso.TraceSource, error) {
 	if bench == "fig10" {
-		return rmwtso.Fig10Trace(cores), nil
+		if cores < 2 {
+			return nil, fmt.Errorf("the fig10 pattern needs at least 2 cores, got %d", cores)
+		}
+		// The Fig. 10 pattern is a handful of hand-built ops; its
+		// materialized trace adapts to the streaming interface.
+		return rmwtso.Fig10Trace(cores).Source(), nil
 	}
 	profile, err := rmwtso.FindProfile(bench)
 	if err != nil {
@@ -110,7 +116,7 @@ func buildTrace(bench, replace string, cores int, scale float64, seed int64) (*r
 	default:
 		return nil, fmt.Errorf("unknown replacement %q (want none, read or write)", replace)
 	}
-	return gen.Generate(profile)
+	return gen.Source(profile)
 }
 
 func fatal(err error) {

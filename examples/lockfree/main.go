@@ -40,12 +40,15 @@ func main() {
 	for _, v := range variants {
 		fmt.Println(v.name)
 		gen := rmwtso.Generator{Cores: cores, Seed: 7, Replacement: v.replacement}
-		trace, err := gen.Generate(profile)
+		// Each per-type run streams its own copy of the workload from the
+		// source; nothing is materialized even though the runs execute
+		// concurrently.
+		source, err := gen.Source(profile)
 		if err != nil {
 			log.Fatal(err)
 		}
 		runner := rmwtso.NewRunner(rmwtso.WithRMWTypes(v.types...))
-		runs, err := runner.SweepTrace(cfg, trace)
+		runs, err := runner.SweepSource(cfg, source)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -60,13 +60,17 @@ func implementation() {
 		log.Fatal(err)
 	}
 	profile.Iterations = 64 // keep the quickstart fast
-	trace, err := gen.Generate(profile)
+
+	// Source yields the workload lazily, one episode per core at a time;
+	// the sweep below never materializes the trace, so the same code runs
+	// paper-scale workloads at bounded memory.
+	source, err := gen.Source(profile)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	cfg := rmwtso.DefaultSimConfig().WithCores(8)
-	runs, err := rmwtso.NewRunner().SweepTrace(cfg, trace)
+	runs, err := rmwtso.NewRunner().SweepSource(cfg, source)
 	if err != nil {
 		log.Fatal(err)
 	}

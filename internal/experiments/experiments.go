@@ -42,6 +42,14 @@ type Options struct {
 	// Config overrides the base architectural parameters; the RMW type is
 	// set per run by the harness.
 	Config *sim.Config
+	// Materialize pre-builds each benchmark's whole trace in memory and
+	// shares the slices across the per-type runs (the pre-streaming
+	// behavior). The default, false, streams each run's trace lazily from
+	// the workload generator at O(episode) memory per core — the right
+	// choice for paper-scale and larger sweeps, whose traces dwarf the
+	// episode window. Both paths produce identical results; the streamed
+	// one regenerates ops per run instead of holding them.
+	Materialize bool
 }
 
 // DefaultOptions reproduce the paper's setup (32 cores, full workloads).
@@ -108,25 +116,31 @@ type BenchmarkRun struct {
 func (b *BenchmarkRun) Result(t core.AtomicityType) *sim.Result { return b.ByType[t] }
 
 // runBenchmark simulates one profile (with optional replacement variant)
-// under the given RMW types.
+// under the given RMW types. By default each run pulls its trace lazily
+// from the generator (bounded memory); with Options.Materialize the trace
+// is built once up front and shared read-only across the types.
 func runBenchmark(o Options, p workload.Profile, variant workload.Replacement, types []core.AtomicityType) (*BenchmarkRun, error) {
 	gen := workload.Generator{Cores: o.Cores, Seed: o.Seed, Replacement: variant}
-	trace, err := gen.Generate(o.scaled(p))
+	src, err := gen.Source(o.scaled(p))
 	if err != nil {
 		return nil, err
 	}
-	run := &BenchmarkRun{Profile: p, Variant: variant, Name: trace.Name, ByType: map[core.AtomicityType]*sim.Result{}}
+	var trace sim.TraceSource = src
+	if o.Materialize {
+		trace = sim.Materialize(src).Source()
+	}
+	run := &BenchmarkRun{Profile: p, Variant: variant, Name: src.Name(), ByType: map[core.AtomicityType]*sim.Result{}}
 	for _, t := range types {
 		s, err := sim.New(o.baseConfig().WithRMWType(t))
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.Run(trace)
+		res, err := s.RunSource(trace)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s under %s: %w", trace.Name, t, err)
+			return nil, fmt.Errorf("experiments: %s under %s: %w", src.Name(), t, err)
 		}
 		if res.Deadlocked {
-			return nil, fmt.Errorf("experiments: %s under %s deadlocked", trace.Name, t)
+			return nil, fmt.Errorf("experiments: %s under %s deadlocked", src.Name(), t)
 		}
 		run.ByType[t] = res
 	}

@@ -8,11 +8,13 @@ import (
 	"repro/internal/sim/writebuffer"
 )
 
-// processor is one simulated in-order core: it walks its trace, talks to
-// the directory for loads and RMWs, retires stores into its write buffer
-// and runs the background drain of that buffer. All continuations that
-// advance the instruction stream go through the engine so that arbitrarily
-// long traces never build up call-stack depth.
+// processor is one simulated in-order core: it pulls operations from its
+// stream, talks to the directory for loads and RMWs, retires stores into
+// its write buffer and runs the background drain of that buffer. The
+// stream is consumed one op at a time, so the processor's memory footprint
+// is independent of trace length; all continuations that advance the
+// instruction stream go through the engine so that arbitrarily long traces
+// never build up call-stack depth either.
 type processor struct {
 	id     int
 	cfg    Config
@@ -22,8 +24,7 @@ type processor struct {
 	wb     *writebuffer.Buffer
 	addrs  *bloom.AddrList
 
-	ops []Op
-	pc  int
+	stream OpStream
 
 	stats    CoreStats
 	rmwCosts []RMWCost
@@ -43,7 +44,7 @@ type processor struct {
 	finishTime uint64
 }
 
-func newProcessor(id int, cfg Config, engine *Engine, dir *directory.Directory, topo *mesh.Topology, addrs *bloom.AddrList, ops []Op, noteRMWLine func(uint64)) *processor {
+func newProcessor(id int, cfg Config, engine *Engine, dir *directory.Directory, topo *mesh.Topology, addrs *bloom.AddrList, stream OpStream, noteRMWLine func(uint64)) *processor {
 	return &processor{
 		id:          id,
 		cfg:         cfg,
@@ -52,7 +53,7 @@ func newProcessor(id int, cfg Config, engine *Engine, dir *directory.Directory, 
 		topo:        topo,
 		wb:          writebuffer.New(cfg.WriteBufferDepth),
 		addrs:       addrs,
-		ops:         ops,
+		stream:      stream,
 		stats:       CoreStats{Core: id},
 		noteRMWLine: noteRMWLine,
 	}
@@ -68,14 +69,13 @@ func (p *processor) start() {
 	p.sched(0, p.step)
 }
 
-// step executes the next trace operation.
+// step pulls and executes the next trace operation.
 func (p *processor) step(at uint64) {
-	if p.pc >= len(p.ops) {
+	op, ok := p.stream.Next()
+	if !ok {
 		p.finish(at)
 		return
 	}
-	op := p.ops[p.pc]
-	p.pc++
 	switch op.Kind {
 	case OpCompute:
 		p.stats.Computes++

@@ -26,13 +26,29 @@ func New(cfg Config) (*Simulator, error) {
 // Config returns the simulator's configuration.
 func (s *Simulator) Config() Config { return s.cfg }
 
-// Run simulates the trace and returns the collected statistics. A run that
-// cannot make progress (every remaining core blocked on a locked line,
-// which can only happen with deadlock avoidance disabled) returns a Result
-// with Deadlocked set rather than an error, so callers can assert on it.
+// Run simulates a materialized trace. It is a thin wrapper over RunSource:
+// the trace is adapted to the streaming interface and consumed one op at a
+// time. A run that cannot make progress (every remaining core blocked on a
+// locked line, which can only happen with deadlock avoidance disabled)
+// returns a Result with Deadlocked set rather than an error, so callers
+// can assert on it. Validation lives in RunSource, which enforces the
+// same conditions Trace.Validate checks.
 func (s *Simulator) Run(trace *Trace) (*Result, error) {
-	if err := trace.Validate(s.cfg); err != nil {
-		return nil, err
+	return s.RunSource(trace.Source())
+}
+
+// RunSource simulates a streaming trace source and returns the collected
+// statistics. Each core pulls its operations on demand from a fresh
+// stream, so memory stays bounded by the source's per-core window (O(1)
+// for a materialized trace's views, O(episode) for workload generators)
+// regardless of trace length. Deadlock is reported the same way as in Run.
+func (s *Simulator) RunSource(src TraceSource) (*Result, error) {
+	if src.Cores() == 0 {
+		return nil, fmt.Errorf("sim: trace %q has no cores", src.Name())
+	}
+	if src.Cores() > s.cfg.Cores {
+		return nil, fmt.Errorf("sim: trace %q has %d core streams but the configuration has %d cores",
+			src.Name(), src.Cores(), s.cfg.Cores)
 	}
 	engine := NewEngine()
 	topo := mesh.New(s.cfg.Cores, s.cfg.LinkLatencyCycles, s.cfg.RouterLatencyCycles)
@@ -57,18 +73,18 @@ func (s *Simulator) Run(trace *Trace) (*Result, error) {
 
 	procs := make([]*processor, s.cfg.Cores)
 	for i := 0; i < s.cfg.Cores; i++ {
-		var ops []Op
-		if i < len(trace.PerCore) {
-			ops = trace.PerCore[i]
+		var stream OpStream = emptyStream{}
+		if i < src.Cores() {
+			stream = src.Stream(i)
 		}
-		procs[i] = newProcessor(i, s.cfg, engine, dir, topo, addrs, ops, noteRMW)
+		procs[i] = newProcessor(i, s.cfg, engine, dir, topo, addrs, stream, noteRMW)
 		procs[i].start()
 	}
 
 	runErr := engine.Run(s.cfg.MaxCycles)
 
 	res := &Result{
-		Workload:   trace.Name,
+		Workload:   src.Name(),
 		RMWType:    s.cfg.RMWType,
 		PerCore:    make([]CoreStats, s.cfg.Cores),
 		Broadcasts: uint64(addrs.Broadcasts()),
@@ -92,7 +108,7 @@ func (s *Simulator) Run(trace *Trace) (*Result, error) {
 	res.DirectoryLockDenials = dir.Stats().LockDenials
 
 	if runErr != nil {
-		return res, fmt.Errorf("sim: %s: %w", trace.Name, runErr)
+		return res, fmt.Errorf("sim: %s: %w", src.Name(), runErr)
 	}
 	if !allDone || !allDrained {
 		// The event queue drained while cores still had work or while

@@ -67,8 +67,43 @@ func RMW(addr uint64) Op { return Op{Kind: OpRMW, Addr: addr} }
 // Fence returns a full memory barrier.
 func Fence() Op { return Op{Kind: OpFence} }
 
-// Trace is one memory-operation trace per core. Cores with no trace simply
-// stay idle.
+// OpStream yields one core's operations in program order, one at a time.
+// It is the pull-based (iterator) form of a per-core trace: the simulator
+// asks for the next operation only when the core is ready to execute it,
+// so arbitrarily long instruction streams never have to exist in memory at
+// once. A stream is single-consumer; obtain a fresh one per simulation run
+// from a TraceSource.
+type OpStream interface {
+	// Next returns the stream's next operation. ok is false when the
+	// stream is exhausted, after which Next must keep returning ok=false.
+	Next() (op Op, ok bool)
+}
+
+// TraceSource is the lazy form of a Trace: a named bundle of per-core
+// operation streams produced on demand. Stream must return a fresh,
+// independent iterator on every call, so one source can feed several
+// simulation runs — including concurrent runs of the same source under
+// different configurations — without the runs observing each other.
+//
+// A materialized *Trace adapts to this interface via its Source method;
+// internal/workload generates sources whose streams synthesize operations
+// episode by episode, keeping only an O(episode) buffer per core.
+type TraceSource interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Cores returns the number of per-core streams.
+	Cores() int
+	// Stream returns a fresh iterator over core c's operations
+	// (0 <= c < Cores()).
+	Stream(c int) OpStream
+}
+
+// Trace is one memory-operation trace per core, fully materialized. Cores
+// with no trace simply stay idle. For paper-scale and larger workloads
+// prefer the streaming TraceSource form, which the simulator consumes at
+// O(window) memory per core; a Trace is the right shape only when the ops
+// must be inspected or mutated after generation (calibration checks,
+// hand-built litmus patterns).
 type Trace struct {
 	// Name identifies the workload in reports.
 	Name string
@@ -140,4 +175,60 @@ func (t *Trace) Validate(cfg Config) error {
 			t.Name, len(t.PerCore), cfg.Cores)
 	}
 	return nil
+}
+
+// Source adapts the materialized trace to the streaming TraceSource
+// interface. The returned source shares the trace's op slices read-only,
+// so it is safe for concurrent simulation runs as long as the trace is not
+// mutated while they execute.
+func (t *Trace) Source() TraceSource { return traceSource{t} }
+
+// traceSource is the TraceSource view of a materialized *Trace.
+type traceSource struct{ t *Trace }
+
+func (s traceSource) Name() string { return s.t.Name }
+func (s traceSource) Cores() int   { return len(s.t.PerCore) }
+func (s traceSource) Stream(c int) OpStream {
+	return &sliceStream{ops: s.t.PerCore[c]}
+}
+
+// sliceStream iterates over a materialized op slice.
+type sliceStream struct {
+	ops []Op
+	pos int
+}
+
+// Next returns the slice's next op.
+func (s *sliceStream) Next() (Op, bool) {
+	if s.pos >= len(s.ops) {
+		return Op{}, false
+	}
+	op := s.ops[s.pos]
+	s.pos++
+	return op, true
+}
+
+// emptyStream is the stream of a core with no trace.
+type emptyStream struct{}
+
+// Next always reports exhaustion.
+func (emptyStream) Next() (Op, bool) { return Op{}, false }
+
+// Materialize drains every stream of the source into a fully materialized
+// Trace. It is the bridge from the lazy form back to the slice form, used
+// when the ops must be retained — counting kinds, unique-line calibration,
+// or replaying the identical trace many times without regeneration cost.
+func Materialize(src TraceSource) *Trace {
+	t := NewTrace(src.Name(), src.Cores())
+	for c := 0; c < src.Cores(); c++ {
+		stream := src.Stream(c)
+		for {
+			op, ok := stream.Next()
+			if !ok {
+				break
+			}
+			t.Append(c, op)
+		}
+	}
+	return t
 }

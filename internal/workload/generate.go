@@ -65,7 +65,16 @@ func privateAddr(c, i int) uint64 {
 	return privateBase + uint64(c)*privateStride + uint64(i)*lineBytes
 }
 
-// Generator produces simulator traces from benchmark profiles.
+// emitFn receives generated operations in program order. It is the sink
+// shared by the streaming and materializing generation paths: a core
+// stream's refill buffer appends through it, and Generate drains a stream
+// built on the same episode functions, so the two forms produce identical
+// op sequences by construction.
+type emitFn func(ops ...sim.Op)
+
+// Generator produces simulator traces from benchmark profiles, either
+// fully materialized (Generate) or as lazy per-core streams (Source) that
+// synthesize operations one synchronization episode at a time.
 type Generator struct {
 	// Cores is the number of cores to generate streams for.
 	Cores int
@@ -75,49 +84,74 @@ type Generator struct {
 	Replacement Replacement
 }
 
-// Generate builds the trace for a profile.
-func (g Generator) Generate(p Profile) (*sim.Trace, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if g.Cores <= 0 {
-		return nil, fmt.Errorf("workload: non-positive core count %d", g.Cores)
-	}
-	name := p.Name
+// TraceName returns the name the generator gives traces of the profile:
+// the profile name plus the replacement-variant suffix ("_rr"/"_wr").
+func (g Generator) TraceName(p Profile) string {
 	switch g.Replacement {
 	case ReadReplacement:
-		name += "_rr"
+		return p.Name + "_rr"
 	case WriteReplacement:
-		name += "_wr"
+		return p.Name + "_wr"
+	default:
+		return p.Name
 	}
-	trace := sim.NewTrace(name, g.Cores)
-	for c := 0; c < g.Cores; c++ {
-		rng := rand.New(rand.NewSource(g.Seed + int64(c)*7919 + 1))
-		switch p.Pattern {
-		case LockBased:
-			g.lockBasedStream(trace, c, p, rng)
-		case Transactional:
-			g.transactionalStream(trace, c, p, rng)
-		case WorkStealing:
-			g.workStealingStream(trace, c, p, rng)
-		default:
-			return nil, fmt.Errorf("workload: profile %q: unknown pattern %v", p.Name, p.Pattern)
-		}
+}
+
+// episodeFunc emits the operations of one synchronization episode (one
+// lock acquisition, transaction, or deque pop/execute/push round) of core
+// c. Generation is deterministic in the rng, which each core stream seeds
+// identically to the materializing path.
+type episodeFunc func(g Generator, c int, p Profile, rng *rand.Rand, emit emitFn)
+
+// episode returns the profile's per-episode generation function.
+func (g Generator) episode(p Profile) (episodeFunc, error) {
+	switch p.Pattern {
+	case LockBased:
+		return Generator.lockBasedEpisode, nil
+	case Transactional:
+		return Generator.transactionalEpisode, nil
+	case WorkStealing:
+		return Generator.workStealingEpisode, nil
+	default:
+		return nil, fmt.Errorf("workload: profile %q: unknown pattern %v", p.Name, p.Pattern)
 	}
-	return trace, nil
+}
+
+// validate checks the (generator, profile) pair before any generation.
+func (g Generator) validate(p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if g.Cores <= 0 {
+		return fmt.Errorf("workload: non-positive core count %d", g.Cores)
+	}
+	return nil
+}
+
+// Generate builds the fully materialized trace for a profile. It is a thin
+// wrapper over Source: the lazy per-core streams are drained into slices.
+// Prefer passing the Source itself to the simulator when the ops need not
+// be retained — the result is identical and memory stays O(episode) per
+// core instead of O(trace).
+func (g Generator) Generate(p Profile) (*sim.Trace, error) {
+	src, err := g.Source(p)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Materialize(src), nil
 }
 
 // privatePhase emits the non-shared work between synchronization episodes.
-func (g Generator) privatePhase(trace *sim.Trace, c int, p Profile, rng *rand.Rand) {
+func (g Generator) privatePhase(emit emitFn, c int, p Profile, rng *rand.Rand) {
 	if p.ThinkCycles > 0 {
-		trace.Append(c, sim.Compute(p.ThinkCycles))
+		emit(sim.Compute(p.ThinkCycles))
 	}
 	for i := 0; i < p.PrivateOpsPerEpisode; i++ {
 		addr := privateAddr(c, rng.Intn(64))
 		if rng.Float64() < p.WriteFraction {
-			trace.Append(c, sim.Write(addr))
+			emit(sim.Write(addr))
 		} else {
-			trace.Append(c, sim.Read(addr))
+			emit(sim.Read(addr))
 		}
 	}
 }
@@ -142,39 +176,38 @@ func (g Generator) pickSync(c int, p Profile, rng *rand.Rand) int {
 
 // sharedOps emits n accesses to the shared-data pool, writing with the
 // profile's write fraction.
-func (g Generator) sharedOps(trace *sim.Trace, c int, p Profile, rng *rand.Rand, n int) {
+func (g Generator) sharedOps(emit emitFn, c int, p Profile, rng *rand.Rand, n int) {
 	for i := 0; i < n; i++ {
 		addr := sharedAddr(rng.Intn(p.SharedDataLines))
 		if rng.Float64() < p.WriteFraction {
-			trace.Append(c, sim.Write(addr))
+			emit(sim.Write(addr))
 		} else {
-			trace.Append(c, sim.Read(addr))
+			emit(sim.Read(addr))
 		}
 	}
 }
 
-// lockBasedStream models SPLASH-2/PARSEC style code: private work, a couple
-// of shared-buffer writes, then lock; critical section; unlock. The shared
-// writes just before the acquire are what make the baseline type-1 RMW pay
-// for a write-buffer drain, as the paper observes.
-func (g Generator) lockBasedStream(trace *sim.Trace, c int, p Profile, rng *rand.Rand) {
-	for it := 0; it < p.Iterations; it++ {
-		g.privatePhase(trace, c, p, rng)
-		// Publish a couple of results to shared memory right before the
-		// acquire.
-		g.sharedOps(trace, c, p, rng, 2)
-		lock := lockAddr(g.pickSync(c, p, rng))
-		trace.Append(c, sim.RMW(lock)) // acquire (test-and-set)
-		g.sharedOps(trace, c, p, rng, p.CriticalSectionOps)
-		trace.Append(c, sim.Write(lock)) // release
-	}
+// lockBasedEpisode models one iteration of SPLASH-2/PARSEC style code:
+// private work, a couple of shared-buffer writes, then lock; critical
+// section; unlock. The shared writes just before the acquire are what make
+// the baseline type-1 RMW pay for a write-buffer drain, as the paper
+// observes.
+func (g Generator) lockBasedEpisode(c int, p Profile, rng *rand.Rand, emit emitFn) {
+	g.privatePhase(emit, c, p, rng)
+	// Publish a couple of results to shared memory right before the
+	// acquire.
+	g.sharedOps(emit, c, p, rng, 2)
+	lock := lockAddr(g.pickSync(c, p, rng))
+	emit(sim.RMW(lock)) // acquire (test-and-set)
+	g.sharedOps(emit, c, p, rng, p.CriticalSectionOps)
+	emit(sim.Write(lock)) // release
 }
 
-// transactionalStream models STAMP code running on a TL2-style STM: a read
-// phase, then a commit that locks each written location with an RMW, bumps
-// the global version clock with an RMW, writes back, and releases the
-// locks with plain stores.
-func (g Generator) transactionalStream(trace *sim.Trace, c int, p Profile, rng *rand.Rand) {
+// transactionalEpisode models one transaction of STAMP code running on a
+// TL2-style STM: a read phase, then a commit that locks each written
+// location with an RMW, bumps the global version clock with an RMW, writes
+// back, and releases the locks with plain stores.
+func (g Generator) transactionalEpisode(c int, p Profile, rng *rand.Rand, emit emitFn) {
 	// The version clock is the hot line every commit bumps. TL2's GV5/GV6
 	// variants reduce clock contention; ClockLines > 1 models that by
 	// sharding the clock, with each core mostly using its home shard.
@@ -183,99 +216,96 @@ func (g Generator) transactionalStream(trace *sim.Trace, c int, p Profile, rng *
 		clockShards = 1
 	}
 	clockRegion := p.SharedLockLines // clock shards live after the STM locks
-	for it := 0; it < p.Iterations; it++ {
-		g.privatePhase(trace, c, p, rng)
-		// Read set.
-		g.sharedOps(trace, c, p, rng, p.CriticalSectionOps)
-		// Write set: lock each written location (CAS on its STM lock), then
-		// bump the version clock, write back, release. The short compute
-		// gaps model the per-location and read-set validation TL2 performs
-		// between the lock acquisitions; they also give the lock RMWs'
-		// writes time to leave the write buffer, which is why the paper
-		// measures almost no bloom-filter reverts for the STAMP codes.
-		writeSet := 1 + rng.Intn(2)
-		locks := make([]uint64, 0, writeSet)
-		for w := 0; w < writeSet; w++ {
-			l := lockAddr(g.pickSync(c, p, rng))
-			locks = append(locks, l)
-			trace.Append(c, sim.RMW(l), sim.Compute(30))
-		}
-		clock := lockAddr(clockRegion + c%clockShards)
-		trace.Append(c, sim.Compute(60), sim.RMW(clock))
-		for w := 0; w < writeSet; w++ {
-			trace.Append(c, sim.Write(sharedAddr(rng.Intn(p.SharedDataLines))))
-		}
-		for _, l := range locks {
-			trace.Append(c, sim.Write(l))
-		}
+	g.privatePhase(emit, c, p, rng)
+	// Read set.
+	g.sharedOps(emit, c, p, rng, p.CriticalSectionOps)
+	// Write set: lock each written location (CAS on its STM lock), then
+	// bump the version clock, write back, release. The short compute
+	// gaps model the per-location and read-set validation TL2 performs
+	// between the lock acquisitions; they also give the lock RMWs'
+	// writes time to leave the write buffer, which is why the paper
+	// measures almost no bloom-filter reverts for the STAMP codes.
+	writeSet := 1 + rng.Intn(2)
+	locks := make([]uint64, 0, writeSet)
+	for w := 0; w < writeSet; w++ {
+		l := lockAddr(g.pickSync(c, p, rng))
+		locks = append(locks, l)
+		emit(sim.RMW(l), sim.Compute(30))
+	}
+	clock := lockAddr(clockRegion + c%clockShards)
+	emit(sim.Compute(60), sim.RMW(clock))
+	for w := 0; w < writeSet; w++ {
+		emit(sim.Write(sharedAddr(rng.Intn(p.SharedDataLines))))
+	}
+	for _, l := range locks {
+		emit(sim.Write(l))
 	}
 }
 
-// workStealingStream models the Chase-Lev deque plus the node-claiming CAS
-// of the parallel spanning-tree program (wsq-mst). Each episode pops a
+// workStealingEpisode models one round of the Chase-Lev deque plus the
+// node-claiming CAS of the parallel spanning-tree program (wsq-mst): pop a
 // task (the Dekker-like bottom/top synchronization whose SC accesses the
-// paper's C/C++11 experiment replaces with RMWs), executes it (claiming a
-// graph node with a CAS and touching its neighbours), pushes newly
-// discovered work, and occasionally steals from a victim deque. The task
+// paper's C/C++11 experiment replaces with RMWs), execute it (claiming a
+// graph node with a CAS and touching its neighbours), push newly
+// discovered work, and occasionally steal from a victim deque. The task
 // execution between the push and the next pop is what lets the push's
 // plain write of bottom leave the write buffer before the pop's RMW, as it
 // does in the real program.
-func (g Generator) workStealingStream(trace *sim.Trace, c int, p Profile, rng *rand.Rand) {
-	for it := 0; it < p.Iterations; it++ {
-		// Publish the previous task's results just before taking the next
-		// task; these are the pending writes that make the baseline type-1
-		// RMW pay for a drain at the pop.
-		g.sharedOps(trace, c, p, rng, 2)
+func (g Generator) workStealingEpisode(c int, p Profile, rng *rand.Rand, emit emitFn) {
+	// Publish the previous task's results just before taking the next
+	// task; these are the pending writes that make the baseline type-1
+	// RMW pay for a drain at the pop.
+	g.sharedOps(emit, c, p, rng, 2)
 
-		// Pop a task: the Dekker-like sequence "write bottom; read top".
-		switch g.Replacement {
-		case WriteReplacement:
-			trace.Append(c, sim.RMW(dequeBottomAddr(c))) // SC-atomic-write -> lock xchg
-			trace.Append(c, sim.Read(dequeTopAddr(c)))
-		case ReadReplacement:
-			trace.Append(c, sim.Write(dequeBottomAddr(c)))
-			trace.Append(c, sim.RMW(dequeTopAddr(c))) // SC-atomic-read -> lock xadd(0)
-		default:
-			trace.Append(c, sim.Write(dequeBottomAddr(c)))
-			trace.Append(c, sim.Read(dequeTopAddr(c)))
-			// Occasionally the pop races a thief and resolves it with a CAS
-			// on top.
-			if rng.Float64() < 0.2 {
-				trace.Append(c, sim.RMW(dequeTopAddr(c)))
-			}
+	// Pop a task: the Dekker-like sequence "write bottom; read top".
+	switch g.Replacement {
+	case WriteReplacement:
+		emit(sim.RMW(dequeBottomAddr(c))) // SC-atomic-write -> lock xchg
+		emit(sim.Read(dequeTopAddr(c)))
+	case ReadReplacement:
+		emit(sim.Write(dequeBottomAddr(c)))
+		emit(sim.RMW(dequeTopAddr(c))) // SC-atomic-read -> lock xadd(0)
+	default:
+		emit(sim.Write(dequeBottomAddr(c)))
+		emit(sim.Read(dequeTopAddr(c)))
+		// Occasionally the pop races a thief and resolves it with a CAS
+		// on top.
+		if rng.Float64() < 0.2 {
+			emit(sim.RMW(dequeTopAddr(c)))
 		}
-
-		// Execute the task: claim a graph node with a CAS, then touch its
-		// neighbours. The large node pool is what gives wsq-mst its high
-		// fraction of unique RMW addresses.
-		node := lockAddr(g.pickSync(c, p, rng))
-		trace.Append(c, sim.RMW(node))
-		g.sharedOps(trace, c, p, rng, p.CriticalSectionOps)
-
-		// Push newly discovered work: write the task slot, then publish
-		// bottom.
-		trace.Append(c, sim.Write(sharedAddr(rng.Intn(p.SharedDataLines))))
-		trace.Append(c, sim.Write(dequeBottomAddr(c)))
-
-		// Occasionally steal from a victim deque: read its anchors and CAS
-		// its top.
-		if g.Cores > 1 && rng.Float64() < 0.25 {
-			victim := rng.Intn(g.Cores)
-			if victim == c {
-				victim = (victim + 1) % g.Cores
-			}
-			trace.Append(c, sim.Read(dequeTopAddr(victim)))
-			trace.Append(c, sim.Read(dequeBottomAddr(victim)))
-			trace.Append(c, sim.RMW(dequeTopAddr(victim)))
-		}
-
-		// Local bookkeeping before the next pop; this is where the push's
-		// write of bottom drains.
-		g.privatePhase(trace, c, p, rng)
 	}
+
+	// Execute the task: claim a graph node with a CAS, then touch its
+	// neighbours. The large node pool is what gives wsq-mst its high
+	// fraction of unique RMW addresses.
+	node := lockAddr(g.pickSync(c, p, rng))
+	emit(sim.RMW(node))
+	g.sharedOps(emit, c, p, rng, p.CriticalSectionOps)
+
+	// Push newly discovered work: write the task slot, then publish
+	// bottom.
+	emit(sim.Write(sharedAddr(rng.Intn(p.SharedDataLines))))
+	emit(sim.Write(dequeBottomAddr(c)))
+
+	// Occasionally steal from a victim deque: read its anchors and CAS
+	// its top.
+	if g.Cores > 1 && rng.Float64() < 0.25 {
+		victim := rng.Intn(g.Cores)
+		if victim == c {
+			victim = (victim + 1) % g.Cores
+		}
+		emit(sim.Read(dequeTopAddr(victim)))
+		emit(sim.Read(dequeBottomAddr(victim)))
+		emit(sim.RMW(dequeTopAddr(victim)))
+	}
+
+	// Local bookkeeping before the next pop; this is where the push's
+	// write of bottom drains.
+	g.privatePhase(emit, c, p, rng)
 }
 
-// GenerateByName builds the trace for a Table 3 benchmark by name.
+// GenerateByName builds the materialized trace for a Table 3 benchmark by
+// name; the streaming equivalent is SourceByName.
 func (g Generator) GenerateByName(name string) (*sim.Trace, error) {
 	p, err := FindProfile(name)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -113,13 +114,19 @@ func (r *Runner) specTypes(s BenchmarkSpec) []AtomicityType {
 	return out
 }
 
-// RunBenchmarks generates each spec's trace and simulates every
-// (spec, type) pair across the worker pool, streaming each run to the
-// observer. A spec's types are intersected with the Runner's configured
-// types (WithRMWTypes); specs left with no types are dropped. Traces are
-// generated once per spec (in parallel) and shared read-only by the
-// per-type runs. Results come back in spec order with one ByType entry
-// per simulated type.
+// RunBenchmarks simulates every (spec, type) pair across the worker pool,
+// streaming each finished run to the observer. A spec's types are
+// intersected with the Runner's configured types (WithRMWTypes); specs
+// left with no types are dropped.
+//
+// By default every simulation unit pulls its trace lazily from the
+// workload generator (Generator.Source), so peak memory per unit is
+// bounded by the per-core episode window no matter how large
+// Options.Scale makes the workloads. With Options.Materialize each spec's
+// trace is instead generated once up front (in parallel) and shared
+// read-only by its per-type runs — trading memory for not regenerating
+// ops per type. Both paths produce identical results; results come back
+// in spec order with one ByType entry per simulated type.
 func (r *Runner) RunBenchmarks(o Options, specs []BenchmarkSpec) ([]*BenchmarkRun, error) {
 	kept := make([]BenchmarkSpec, 0, len(specs))
 	types := make([][]AtomicityType, 0, len(specs))
@@ -132,22 +139,29 @@ func (r *Runner) RunBenchmarks(o Options, specs []BenchmarkSpec) ([]*BenchmarkRu
 		types = append(types, ts)
 	}
 
-	// Phase 1: generate the traces, one unit per spec.
-	traces := make([]*Trace, len(kept))
+	// Phase 1: build each spec's trace source. Sources are cheap (no ops
+	// are generated yet); with Materialize they are drained into shared
+	// slices here, one unit per spec.
+	sources := make([]TraceSource, len(kept))
 	err := r.runUnits(len(kept), func(i int) error {
 		gen := workload.Generator{Cores: o.Cores, Seed: o.Seed, Replacement: kept[i].Variant}
-		tr, err := gen.Generate(o.ScaledProfile(kept[i].Profile))
+		src, err := gen.Source(o.ScaledProfile(kept[i].Profile))
 		if err != nil {
 			return err
 		}
-		traces[i] = tr
+		if o.Materialize {
+			sources[i] = sim.Materialize(src).Source()
+		} else {
+			sources[i] = src
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	// Phase 2: simulate, one unit per (spec, type) pair.
+	// Phase 2: simulate, one unit per (spec, type) pair. Units share a
+	// spec's source; each run pulls its own fresh streams from it.
 	type unit struct {
 		si  int
 		typ AtomicityType
@@ -161,15 +175,15 @@ func (r *Runner) RunBenchmarks(o Options, specs []BenchmarkSpec) ([]*BenchmarkRu
 	results := make([]*SimResult, len(units))
 	err = r.runUnits(len(units), func(i int) error {
 		u := units[i]
-		res, err := Simulate(o.BaseConfig().WithRMWType(u.typ), traces[u.si])
+		res, err := SimulateSource(o.BaseConfig().WithRMWType(u.typ), sources[u.si])
 		if err != nil {
 			return err
 		}
 		if res.Deadlocked {
-			return deadlockError(traces[u.si].Name, u.typ)
+			return deadlockError(sources[u.si].Name(), u.typ)
 		}
 		results[i] = res
-		r.emit(Event{Sim: &SimRun{Trace: traces[u.si].Name, Type: u.typ, Result: res}})
+		r.emit(Event{Sim: &SimRun{Trace: sources[u.si].Name(), Type: u.typ, Result: res}})
 		return nil
 	})
 	if err != nil {
@@ -182,7 +196,7 @@ func (r *Runner) RunBenchmarks(o Options, specs []BenchmarkSpec) ([]*BenchmarkRu
 		runs[si] = &BenchmarkRun{
 			Profile: s.Profile,
 			Variant: s.Variant,
-			Name:    traces[si].Name,
+			Name:    sources[si].Name(),
 			ByType:  map[AtomicityType]*SimResult{},
 		}
 	}

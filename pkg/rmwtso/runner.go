@@ -282,6 +282,35 @@ func (r *Runner) SweepTrace(cfg SimConfig, trace *Trace) ([]SimRun, error) {
 	return runs, nil
 }
 
+// SweepSource simulates one streaming trace source under every configured
+// RMW type, one run per work unit, without ever materializing the trace:
+// each run pulls fresh per-core streams from the source, so peak memory is
+// bounded by the source's window regardless of trace length. The source's
+// Stream method must return independent iterators (Generator.Source and
+// Trace.Source both do), since the per-type runs consume it concurrently.
+// The returned slice is ordered like the configured types.
+func (r *Runner) SweepSource(cfg SimConfig, src TraceSource) ([]SimRun, error) {
+	types := r.opts.types
+	runs := make([]SimRun, len(types))
+	err := r.runUnits(len(types), func(i int) error {
+		s, err := sim.New(cfg.WithRMWType(types[i]))
+		if err != nil {
+			return err
+		}
+		res, err := s.RunSource(src)
+		if err != nil {
+			return err
+		}
+		runs[i] = SimRun{Trace: src.Name(), Type: types[i], Result: res}
+		r.emit(Event{Sim: &runs[i]})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
 // SweepTraces simulates every (trace, configured type) pair across the
 // pool. The returned slice is ordered (trace, type).
 func (r *Runner) SweepTraces(cfg SimConfig, traces ...*Trace) ([]SimRun, error) {

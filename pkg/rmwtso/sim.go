@@ -13,11 +13,30 @@ type SimConfig = sim.Config
 // DefaultSimConfig returns the paper's architectural parameters.
 func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
 
-// Trace is a per-core memory-operation trace, the simulator's input.
+// Trace is a fully materialized per-core memory-operation trace. The
+// simulator also accepts the lazy TraceSource form, which is the right
+// shape for long workloads; a Trace adapts to it via its Source method.
 type Trace = sim.Trace
 
 // TraceOp is one operation of a trace.
 type TraceOp = sim.Op
+
+// OpStream yields one core's operations in program order, one at a time.
+// Streams are single-consumer; obtain a fresh one per run from a
+// TraceSource.
+type OpStream = sim.OpStream
+
+// TraceSource is the lazy form of a Trace: a named bundle of per-core
+// operation streams produced on demand, so the simulator's memory use is
+// bounded by the source's per-core window instead of the trace length.
+// Generator.Source builds one from a benchmark profile; Trace.Source
+// adapts a materialized trace.
+type TraceSource = sim.TraceSource
+
+// MaterializeTrace drains every stream of a source into a materialized
+// Trace, for when the ops must be retained (inspection, repeated replay
+// without regeneration cost).
+func MaterializeTrace(src TraceSource) *Trace { return sim.Materialize(src) }
 
 // SimResult holds the statistics of one simulation run, including the
 // per-RMW cost split of Fig. 11(a).
@@ -41,15 +60,29 @@ func TraceFence() TraceOp { return sim.Fence() }
 // TraceCompute builds a non-memory computation of the given length.
 func TraceCompute(cycles uint64) TraceOp { return sim.Compute(cycles) }
 
-// Simulate runs one trace on the simulated machine described by the
-// configuration. For sweeping one trace across several RMW types in
-// parallel, use Runner.SweepTrace.
+// Simulate runs one materialized trace on the simulated machine described
+// by the configuration. For sweeping one trace across several RMW types
+// in parallel, use Runner.SweepTrace; for bounded-memory runs of long
+// workloads, use SimulateSource.
 func Simulate(cfg SimConfig, trace *Trace) (*SimResult, error) {
 	s, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return s.Run(trace)
+}
+
+// SimulateSource runs one streaming trace source on the simulated machine,
+// pulling each core's operations on demand so memory stays bounded by the
+// source's per-core window regardless of trace length. For the same
+// (profile, seed, cores, scale) a streamed run produces statistics
+// identical to Simulate on the materialized trace.
+func SimulateSource(cfg SimConfig, src TraceSource) (*SimResult, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunSource(src)
 }
 
 // Fig10Trace builds the write-deadlock access pattern of the paper's
@@ -72,9 +105,17 @@ func Fig10Trace(cores int) *Trace {
 // Profile describes one synthetic benchmark workload (Table 3 row).
 type Profile = workload.Profile
 
-// Generator turns a profile into a per-core trace deterministically from
-// its seed.
+// Generator turns a profile into per-core traces deterministically from
+// its seed: Generate materializes the whole trace, Source yields a lazy
+// per-core TraceSource that synthesizes operations one synchronization
+// episode at a time (O(episode) memory per core). Both forms produce
+// byte-identical op sequences.
 type Generator = workload.Generator
+
+// WorkloadSource is the lazy trace source a Generator builds from a
+// benchmark profile; it implements TraceSource with fresh, independently
+// seeded streams per call, so one source can feed concurrent runs.
+type WorkloadSource = workload.Source
 
 // Replacement selects the wsq-mst C/C++11 variant: which SC accesses of
 // the Chase-Lev deque are compiled to RMWs.

@@ -1,0 +1,197 @@
+// Command doclint enforces godoc coverage: every exported identifier in
+// the given package trees must carry a doc comment. It exists so CI can
+// fail when the public API surface (pkg/...) or the documented internal
+// layers drift out of sync with their documentation; it deliberately uses
+// only the standard library so the repository stays dependency-free.
+//
+// Usage:
+//
+//	go run ./tools/doclint ./pkg/... ./internal/workload/...
+//
+// Each argument is a directory, optionally with the go-style /... suffix
+// for a recursive walk. Test files (_test.go) are exempt. For grouped
+// declarations a doc comment on the group covers every name in it, the
+// same rule godoc itself renders by.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <dir>[/...] ...")
+		os.Exit(2)
+	}
+	var missing []string
+	for _, arg := range os.Args[1:] {
+		dirs, err := expand(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			found, err := lintDir(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doclint:", err)
+				os.Exit(2)
+			}
+			missing = append(missing, found...)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifiers without doc comments:\n", len(missing))
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, " ", m)
+		}
+		os.Exit(1)
+	}
+}
+
+// expand turns an argument into the list of directories to lint: the
+// directory itself, plus every subdirectory when the /... suffix is used.
+func expand(arg string) ([]string, error) {
+	recursive := false
+	if strings.HasSuffix(arg, "/...") {
+		recursive = true
+		arg = strings.TrimSuffix(arg, "/...")
+	}
+	info, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("%s is not a directory", arg)
+	}
+	if !recursive {
+		return []string{arg}, nil
+	}
+	var dirs []string
+	err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		// Match the go tool's /... semantics: testdata and "."/"_"
+		// prefixed directories are not packages.
+		name := d.Name()
+		if path != arg && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// lintDir parses one directory's non-test Go files and returns a
+// "file:line: identifier" entry for each undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		missing = append(missing, lintFile(fset, file)...)
+	}
+	return missing, nil
+}
+
+// lintFile checks one parsed file's top-level declarations.
+func lintFile(fset *token.FileSet, file *ast.File) []string {
+	var missing []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s %s", p.Filename, p.Line, what, name))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !ast.IsExported(d.Name.Name) || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				what := "func"
+				if d.Recv != nil {
+					what = "method"
+				}
+				report(d.Pos(), what, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if ast.IsExported(s.Name.Name) && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the const/var block covers its
+					// members, matching how godoc renders groups.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if ast.IsExported(n.Name) {
+							report(n.Pos(), kindOf(d.Tok), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return missing
+}
+
+// exportedReceiver reports whether a declaration is package-level or a
+// method on an exported type; methods of unexported types are not part of
+// the documented surface.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.Ident:
+			return ast.IsExported(v.Name)
+		default:
+			return true
+		}
+	}
+}
+
+// kindOf names a GenDecl token for the report.
+func kindOf(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	default:
+		return tok.String()
+	}
+}

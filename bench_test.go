@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -430,6 +431,101 @@ func BenchmarkSimStreamedTrace(b *testing.B) {
 			b.ReportMetric(float64(res.TotalMemOps()), "trace-memops")
 			b.ReportMetric(float64(res.Cycles), "cycles")
 		}
+	}
+}
+
+// iriwReadWriteProgram compiles the IRIW C/C++11 idiom under the
+// read-write mapping: every SC access becomes a locked RMW, giving the
+// largest candidate space induced by the registries (tens of thousands of
+// rf×ws choices) — the program class where one verdict dominates a
+// suite's wall clock.
+func iriwReadWriteProgram(b *testing.B) *memmodel.Program {
+	p, err := cpp11.Compile(cpp11.SCIRIW(), cpp11.ReadWriteMapping)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkEnumerateParallel measures the rf-partitioned enumeration of
+// the IRIW-class program at increasing worker counts against the
+// sequential walk ("workers-1" runs the same partitioned machinery with
+// one range; "seq" is the plain visitor API). Every variant must visit
+// the identical number of candidates; the figure of merit is the speedup
+// of workers-8 over seq on multi-core hardware (≥2x expected from 8
+// workers on ≥4 cores; on a single-core runner the parallel variants
+// only measure the partitioning overhead).
+func BenchmarkEnumerateParallel(b *testing.B) {
+	p := iriwReadWriteProgram(b)
+	want, err := memmodel.CountCandidates(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	count := func(b *testing.B, run func(visit func(*memmodel.Execution) bool) error) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			candidates := 0
+			err := run(func(x *memmodel.Execution) bool {
+				candidates++
+				return true
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if candidates != want {
+				b.Fatalf("visited %d candidates, want %d", candidates, want)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(candidates), "candidates")
+			}
+		}
+	}
+	b.Run("seq", func(b *testing.B) {
+		count(b, func(visit func(*memmodel.Execution) bool) error {
+			return memmodel.EnumerateFunc(p, visit)
+		})
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			count(b, func(visit func(*memmodel.Execution) bool) error {
+				return memmodel.EnumerateParallel(context.Background(), p, workers, visit, memmodel.EnumUnordered())
+			})
+		})
+	}
+	b.Run("workers-8-ordered", func(b *testing.B) {
+		count(b, func(visit func(*memmodel.Execution) bool) error {
+			return memmodel.EnumerateParallel(context.Background(), p, 8, visit)
+		})
+	})
+}
+
+// BenchmarkEnumerateParallelVerdict measures the same program through a
+// whole litmus-style verdict (validity filtering inside the workers via
+// Test.RunParallel), which is the user-visible win: the filter — the
+// expensive part — runs concurrently.
+func BenchmarkEnumerateParallelVerdict(b *testing.B) {
+	p := iriwReadWriteProgram(b)
+	test := &litmus.Test{
+		Name:    "iriw-rw-bench",
+		Program: p,
+		Cond:    litmus.ExistsCond(litmus.RegTerm(2, "r0", 1)),
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			var candidates int
+			for i := 0; i < b.N; i++ {
+				res, err := test.RunParallel(context.Background(), core.Type2, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if candidates == 0 {
+					candidates = res.Candidates
+				} else if res.Candidates != candidates {
+					b.Fatalf("candidate count drifted: %d vs %d", res.Candidates, candidates)
+				}
+			}
+			b.ReportMetric(float64(candidates), "candidates")
+		})
 	}
 }
 

@@ -9,6 +9,7 @@
 //	experiments -quick                use the reduced configuration (8 cores, short workloads)
 //	experiments -cores 16 -scale 0.5  custom run size
 //	experiments -j 8                  simulation worker-pool parallelism
+//	experiments -enum-workers 8       goroutines per model-checking verdict
 //	experiments -materialize          pre-build whole traces in memory
 //
 // The semantics experiments (Tables 1 and 4) are exact model-checking
@@ -39,6 +40,7 @@ func main() {
 		scale    = flag.Float64("scale", 0, "override the workload scale factor")
 		seed     = flag.Int64("seed", 0, "override the workload seed")
 		par      = flag.Int("j", 0, "simulation worker-pool parallelism (default: GOMAXPROCS)")
+		enumW    = flag.Int("enum-workers", 0, "goroutines per model-checking verdict (default: auto by candidate count)")
 		progress = flag.Bool("progress", false, "stream per-run progress while simulating")
 		mat      = flag.Bool("materialize", false, "pre-build whole traces in memory instead of streaming them")
 	)
@@ -58,6 +60,9 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	if *enumW > 0 {
+		opts.EnumWorkers = *enumW
+	}
 
 	if !*all && *table == "" && *fig == "" && !*summary {
 		flag.Usage()
@@ -65,7 +70,7 @@ func main() {
 	}
 
 	if *all || *table == "1" {
-		rows, err := rmwtso.RunTable1()
+		rows, err := rmwtso.RunTable1Opts(opts)
 		check(err)
 		fmt.Println(rmwtso.RenderTable1(rows))
 		if err := rmwtso.CheckTable1Matches(rows); err != nil {
@@ -80,7 +85,7 @@ func main() {
 		fmt.Println()
 	}
 	if *all || *table == "4" {
-		rows, err := rmwtso.RunTable4()
+		rows, err := rmwtso.RunTable4Opts(opts)
 		check(err)
 		fmt.Println(rmwtso.RenderTable4(rows))
 		fmt.Println()

@@ -9,7 +9,14 @@
 //	litmus -file <path>      run a test from a litmus file
 //	litmus -type type-2      restrict to one atomicity type (default: all three)
 //	litmus -j 8              worker-pool parallelism (default: GOMAXPROCS)
+//	litmus -enum-workers 8   fan each verdict's enumeration across 8 goroutines
 //	litmus -v                also stream the outcome sets as verdicts finish
+//
+// -j parallelizes across verdicts (one per test and atomicity type);
+// -enum-workers parallelizes inside one verdict by partitioning its rf×ws
+// candidate space, which is what helps when a single IRIW-sized program
+// dominates the wall clock. The default, 0, picks per program: GOMAXPROCS
+// for large candidate spaces, 1 for small ones.
 package main
 
 import (
@@ -29,6 +36,7 @@ func main() {
 		file     = flag.String("file", "", "run a test parsed from a litmus file")
 		typeName = flag.String("type", "", "atomicity type to check (type-1, type-2, type-3); default all")
 		par      = flag.Int("j", 0, "worker-pool parallelism (default: GOMAXPROCS)")
+		enumW    = flag.Int("enum-workers", 0, "goroutines per verdict's candidate enumeration (default: auto by candidate count)")
 		verbose  = flag.Bool("v", false, "stream outcome sets as verdicts finish")
 	)
 	flag.Parse()
@@ -43,6 +51,9 @@ func main() {
 	}
 	if *par > 0 {
 		opts = append(opts, rmwtso.WithParallelism(*par))
+	}
+	if *enumW > 0 {
+		opts = append(opts, rmwtso.WithEnumWorkers(*enumW))
 	}
 	if *verbose {
 		opts = append(opts, rmwtso.WithObserver(func(e rmwtso.Event) {

@@ -8,8 +8,15 @@
 //	rmwsim -bench bayes -type type-2
 //	rmwsim -bench wsq-mst -replace read -type type-3 -cores 16
 //	rmwsim -bench fig10 -type type-2 -naive       demonstrate the write-deadlock
+//	rmwsim -bench fig10 -check                    model-check the pattern first
 //	rmwsim -bench bayes -sweep                    compare all three RMW types
 //	rmwsim -list                                   list the available benchmarks
+//
+// -check (fig10 only) model-checks the write-deadlock litmus test before
+// simulating: the cyclic outcome is forbidden under every atomicity type,
+// which is exactly why the naive implementation that waits for it wedges.
+// -enum-workers fans the verdict's candidate enumeration across that many
+// goroutines (0 picks by candidate count).
 package main
 
 import (
@@ -31,6 +38,8 @@ func main() {
 		seed      = flag.Int64("seed", 20130601, "workload generation seed")
 		naive     = flag.Bool("naive", false, "disable the bloom-filter deadlock avoidance (type-2/3 only)")
 		sweep     = flag.Bool("sweep", false, "run the trace under all three RMW types in parallel")
+		check     = flag.Bool("check", false, "model-check the fig10 litmus test before simulating it")
+		enumW     = flag.Int("enum-workers", 0, "goroutines per -check verdict's enumeration (default: auto by candidate count)")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
 	)
 	flag.Parse()
@@ -43,6 +52,26 @@ func main() {
 	typ, err := rmwtso.ParseAtomicityType(*typeName)
 	if err != nil {
 		fatal(err)
+	}
+	if *check {
+		if *benchName != "fig10" {
+			fatal(fmt.Errorf("-check model-checks the fig10 write-deadlock pattern; it cannot be combined with -bench %s", *benchName))
+		}
+		t := rmwtso.FindTest("write-deadlock (Fig. 10)")
+		if t == nil {
+			fatal(fmt.Errorf("the write-deadlock litmus test is not registered"))
+		}
+		var opts []rmwtso.Option
+		if *enumW > 0 {
+			opts = append(opts, rmwtso.WithEnumWorkers(*enumW))
+		}
+		results, err := rmwtso.TestsOf(t).Run(opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("semantic verdict for the Fig. 10 pattern (the cyclic outcome must be forbidden):")
+		fmt.Print(rmwtso.Report(results))
+		fmt.Println()
 	}
 	cfg := rmwtso.DefaultSimConfig().WithCores(*cores)
 	cfg.DisableDeadlockAvoidance = *naive

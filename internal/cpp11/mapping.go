@@ -1,6 +1,7 @@
 package cpp11
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -157,6 +158,18 @@ func (r ValidationResult) String() string {
 // ValidateMapping checks the mapping against the program for one RMW
 // atomicity type by exhaustive comparison of the two models' outcome sets.
 func ValidateMapping(p *Program, m Mapping, typ core.AtomicityType) (ValidationResult, error) {
+	return ValidateMappingParallel(context.Background(), p, m, typ, 1)
+}
+
+// ValidateMappingParallel is ValidateMapping with the TSO side's candidate
+// enumeration — the dominant cost, since compiling SC accesses to RMWs
+// multiplies the rf×ws choice space — partitioned across workers
+// goroutines. workers > 1 parallelizes, workers == 1 is sequential, and
+// workers <= 0 picks the candidate-count heuristic for the compiled
+// program (GOMAXPROCS for IRIW-class spaces, 1 for small ones). The
+// result is identical to ValidateMapping's; a cancelled ctx aborts with
+// ctx's error.
+func ValidateMappingParallel(ctx context.Context, p *Program, m Mapping, typ core.AtomicityType, workers int) (ValidationResult, error) {
 	res := ValidationResult{Program: p.Name, Mapping: m, Atomicity: typ}
 
 	sem, err := Analyze(p)
@@ -170,7 +183,10 @@ func ValidateMapping(p *Program, m Mapping, typ core.AtomicityType) (ValidationR
 	if err != nil {
 		return res, err
 	}
-	tsoOutcomes, err := core.NewModel(typ).Outcomes(compiled)
+	if workers <= 0 {
+		workers = memmodel.AutoEnumWorkers(compiled)
+	}
+	tsoOutcomes, err := core.NewModel(typ).OutcomesParallel(ctx, compiled, workers)
 	if err != nil {
 		return res, err
 	}

@@ -50,6 +50,12 @@ type Options struct {
 	// episode window. Both paths produce identical results; the streamed
 	// one regenerates ops per run instead of holding them.
 	Materialize bool
+	// EnumWorkers is how many goroutines each litmus verdict and mapping
+	// validation of the semantics experiments (Tables 1 and 4) fans its
+	// candidate enumeration across. The default, 0, picks per program via
+	// the candidate-count heuristic: GOMAXPROCS for IRIW-class programs,
+	// 1 for small ones. The verdicts are identical at any setting.
+	EnumWorkers int
 }
 
 // DefaultOptions reproduce the paper's setup (32 cores, full workloads).

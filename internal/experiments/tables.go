@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -31,6 +32,15 @@ type Table1Row struct {
 // RunTable1 regenerates Table 1 by model checking the paper's litmus tests
 // (Dekker variants) and validating the C/C++11 mappings.
 func RunTable1() ([]Table1Row, error) {
+	return RunTable1Opts(DefaultOptions())
+}
+
+// RunTable1Opts is RunTable1 honouring the options' EnumWorkers: each
+// verdict's candidate enumeration is fanned across that many goroutines
+// (0 picks the per-program candidate-count heuristic). The rows are
+// identical at any setting.
+func RunTable1Opts(o Options) ([]Table1Row, error) {
+	ctx := context.Background()
 	var rows []Table1Row
 	readRep := litmus.DekkerReadReplacement()
 	writeRep := litmus.DekkerWriteReplacement()
@@ -42,31 +52,31 @@ func RunTable1() ([]Table1Row, error) {
 
 		// An idiom "works" when the mutual-exclusion-failure outcome is
 		// forbidden (the litmus condition does NOT hold).
-		r, err := readRep.Run(typ)
+		r, err := readRep.RunParallel(ctx, typ, o.EnumWorkers)
 		if err != nil {
 			return nil, err
 		}
 		row.DekkerReads = !r.Holds
 
-		w, err := writeRep.Run(typ)
+		w, err := writeRep.RunParallel(ctx, typ, o.EnumWorkers)
 		if err != nil {
 			return nil, err
 		}
 		row.DekkerWrites = !w.Holds
 
-		b, err := barrier.Run(typ)
+		b, err := barrier.RunParallel(ctx, typ, o.EnumWorkers)
 		if err != nil {
 			return nil, err
 		}
 		row.RMWAsBarrier = !b.Holds
 
-		rm, err := cpp11.ValidateMapping(scSB, cpp11.ReadMapping, typ)
+		rm, err := cpp11.ValidateMappingParallel(ctx, scSB, cpp11.ReadMapping, typ, o.EnumWorkers)
 		if err != nil {
 			return nil, err
 		}
 		row.CppReadReplacement = rm.Sound
 
-		wm, err := cpp11.ValidateMapping(scSB, cpp11.WriteMapping, typ)
+		wm, err := cpp11.ValidateMappingParallel(ctx, scSB, cpp11.WriteMapping, typ, o.EnumWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -179,11 +189,18 @@ type Table4Row struct {
 
 // RunTable4 validates every Table 4 mapping under every RMW type.
 func RunTable4() ([]Table4Row, error) {
+	return RunTable4Opts(DefaultOptions())
+}
+
+// RunTable4Opts is RunTable4 honouring the options' EnumWorkers, like
+// RunTable1Opts.
+func RunTable4Opts(o Options) ([]Table4Row, error) {
+	ctx := context.Background()
 	var rows []Table4Row
 	p := cpp11.SCStoreBuffering()
 	for _, m := range cpp11.AllMappings() {
 		for _, typ := range core.AllTypes() {
-			res, err := cpp11.ValidateMapping(p, m, typ)
+			res, err := cpp11.ValidateMappingParallel(ctx, p, m, typ, o.EnumWorkers)
 			if err != nil {
 				return nil, err
 			}

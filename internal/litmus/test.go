@@ -7,9 +7,11 @@
 package litmus
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/memmodel"
@@ -205,17 +207,35 @@ func (r Result) String() string {
 // executions are streamed through the model's validity filter one at a
 // time, so the full candidate set is never materialized.
 func (t *Test) Run(typ core.AtomicityType) (Result, error) {
+	return t.RunParallel(context.Background(), typ, 1)
+}
+
+// RunParallel model-checks the test under the given atomicity type with
+// the candidate enumeration partitioned across workers goroutines: each
+// worker walks a contiguous range of the rf×ws choice space and runs the
+// validity check — the expensive part of a verdict — on its own
+// candidates, while outcome collection stays serialized. workers > 1
+// parallelizes, workers == 1 is the sequential Run, and workers <= 0
+// picks the candidate-count heuristic (GOMAXPROCS for IRIW-class
+// programs, 1 for small ones). The verdict is identical to Run's
+// regardless of workers; a cancelled ctx aborts the verdict with ctx's
+// error.
+func (t *Test) RunParallel(ctx context.Context, typ core.AtomicityType, workers int) (Result, error) {
+	if workers <= 0 {
+		workers = memmodel.AutoEnumWorkers(t.Program)
+	}
 	model := core.NewModel(typ)
 	set := core.NewOutcomeSet()
-	valid, candidates := 0, 0
-	err := memmodel.EnumerateFunc(t.Program, func(x *memmodel.Execution) bool {
-		candidates++
-		if model.Valid(x) {
-			valid++
-			set.Add(core.OutcomeOf(x))
-		}
+	valid := 0
+	var candidates atomic.Int64
+	err := memmodel.EnumerateParallel(ctx, t.Program, workers, func(x *memmodel.Execution) bool {
+		valid++
+		set.Add(core.OutcomeOf(x))
 		return true
-	})
+	}, memmodel.EnumFilter(func(x *memmodel.Execution) bool {
+		candidates.Add(1)
+		return model.Valid(x)
+	}), memmodel.EnumUnordered())
 	if err != nil {
 		return Result{}, fmt.Errorf("litmus: %s: %w", t.Name, err)
 	}
@@ -226,7 +246,7 @@ func (t *Test) Run(typ core.AtomicityType) (Result, error) {
 		Holds:           holds,
 		Matches:         true,
 		ValidExecutions: valid,
-		Candidates:      candidates,
+		Candidates:      int(candidates.Load()),
 		Outcomes:        set,
 	}
 	if exp, ok := t.Expected[typ]; ok {

@@ -19,64 +19,120 @@ func Enumerate(p *Program) ([]*Execution, error) {
 	return out, nil
 }
 
-// EnumerateFunc generates all candidate executions of a litmus program and
-// streams them to visit, one at a time: every combination of a reads-from
-// map (each read may read from any write to the same location, including
-// the initial write, but not from the write half of its own RMW) and a
-// per-location write serialization (every permutation of the non-initial
-// writes, with the initial write first).
-//
-// Values are then propagated: plain writes keep their program value and
-// RMW writes receive Modify(value read by their read half). Candidates
-// whose value propagation does not converge (cyclic value dependencies
-// through RMWs) are dropped and never reach visit.
-//
-// The visited executions are candidates only: callers must still filter
-// by validity (Execution.BaseValid for the base model, or the RMW-aware
-// check in internal/core). Each visited execution owns its events and may
-// be retained. Returning false from visit stops the enumeration early.
-func EnumerateFunc(p *Program, visit func(*Execution) bool) error {
+// enumSpace is the precomputed enumeration space of a program: its event
+// templates plus the per-read rf choices and per-location ws choices whose
+// cross-product is the candidate set. Candidates are addressed by a linear
+// index in [0, total()): the index is a mixed-radix number whose most
+// significant digits are the rf choices (in read order) and whose least
+// significant digits are the ws choices (in location order), so walking
+// indices in ascending order reproduces the enumeration order of the
+// original recursive walk — and any contiguous index range can be walked
+// independently, which is what EnumerateFunc's worker partitioning relies
+// on.
+type enumSpace struct {
+	p      *Program
+	events []*Event
+	// reads lists the read-event indices; choices[i] lists the candidate
+	// source writes of reads[i].
+	reads   []int
+	choices [][]int
+	// addrs lists the accessed locations; wsChoices[i] lists the candidate
+	// coherence orders of addrs[i] (initial write first).
+	addrs     []Addr
+	wsChoices [][][]int
+	// rfSize and wsSize are the sizes of the two sub-spaces; the candidate
+	// space has rfSize*wsSize indices.
+	rfSize, wsSize int
+	// rmwReadOf maps each RMW write event to its read half and modify to
+	// its value function — the single derivation of the RMW pairing that
+	// both assemble's value propagation and countRF's value-cycle check
+	// use, so the two can never disagree on which candidates are dropped.
+	rmwReadOf map[int]int
+	modify    map[int]ModifyFunc
+	// readPos maps each read event to its position in reads.
+	readPos map[int]int
+}
+
+// newEnumSpace validates the program and builds its enumeration space.
+func newEnumSpace(p *Program) (*enumSpace, error) {
 	if err := p.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	events, err := buildEvents(p)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	sp := &enumSpace{p: p, events: events, rmwReadOf: map[int]int{}, modify: map[int]ModifyFunc{}, readPos: map[int]int{}}
 
 	// Group writes and reads by location.
 	writesByAddr := map[Addr][]int{}
-	var reads []int
 	for _, e := range events {
 		if e.IsWrite() {
 			writesByAddr[e.Addr] = append(writesByAddr[e.Addr], e.Index)
 		}
 		if e.IsRead() {
-			reads = append(reads, e.Index)
+			sp.readPos[e.Index] = len(sp.reads)
+			sp.reads = append(sp.reads, e.Index)
+		}
+	}
+
+	// Map each RMW's write event back to its read half and its Modify
+	// function, once for the whole enumeration.
+	rmwID := 0
+	for ti, t := range p.Threads {
+		for ii, in := range t {
+			if in.Kind != InstrRMW {
+				continue
+			}
+			var rdIdx, wrIdx int = -1, -1
+			for _, e := range events {
+				if e.Thread == ThreadID(ti) && e.PO == ii && e.RMW == rmwID {
+					if e.Kind == KindRMWRead {
+						rdIdx = e.Index
+					} else if e.Kind == KindRMWWrite {
+						wrIdx = e.Index
+					}
+				}
+			}
+			if rdIdx < 0 || wrIdx < 0 {
+				return nil, fmt.Errorf("memmodel: program %q: missing event pair for RMW %d", p.Name, rmwID)
+			}
+			m := in.Modify
+			if m == nil {
+				v := in.Value
+				m = func(Value) Value { return v }
+			}
+			sp.modify[wrIdx] = m
+			sp.rmwReadOf[wrIdx] = rdIdx
+			rmwID++
 		}
 	}
 
 	// Enumerate rf choices: for each read, the set of candidate source
-	// writes.
-	choices := make([][]int, len(reads))
-	for i, rd := range reads {
+	// writes (any write to the same location except the write half of its
+	// own RMW).
+	sp.choices = make([][]int, len(sp.reads))
+	sp.rfSize = 1
+	for i, rd := range sp.reads {
 		r := events[rd]
 		for _, w := range writesByAddr[r.Addr] {
 			if events[w].SameRMW(r) {
 				continue // Ra never reads from its own Wa
 			}
-			choices[i] = append(choices[i], w)
+			sp.choices[i] = append(sp.choices[i], w)
 		}
-		if len(choices[i]) == 0 {
-			return fmt.Errorf("memmodel: read %s has no candidate writes", r)
+		if len(sp.choices[i]) == 0 {
+			return nil, fmt.Errorf("memmodel: read %s has no candidate writes", r)
 		}
+		sp.rfSize *= len(sp.choices[i])
 	}
 
 	// Enumerate ws choices: per location, the initial write followed by
 	// every permutation of the remaining writes.
-	addrs := p.Addrs()
-	wsChoices := make([][][]int, len(addrs))
-	for i, a := range addrs {
+	sp.addrs = p.Addrs()
+	sp.wsChoices = make([][][]int, len(sp.addrs))
+	sp.wsSize = 1
+	for i, a := range sp.addrs {
 		var init int = -1
 		var rest []int
 		for _, w := range writesByAddr[a] {
@@ -86,112 +142,128 @@ func EnumerateFunc(p *Program, visit func(*Execution) bool) error {
 				rest = append(rest, w)
 			}
 		}
-		perms := permutations(rest)
-		for _, perm := range perms {
+		for _, perm := range permutations(rest) {
 			order := append([]int{init}, perm...)
-			wsChoices[i] = append(wsChoices[i], order)
+			sp.wsChoices[i] = append(sp.wsChoices[i], order)
 		}
+		sp.wsSize *= len(sp.wsChoices[i])
 	}
+	return sp, nil
+}
 
-	rfAssign := make([]int, len(reads))
-	wsAssign := make([]int, len(addrs))
-	stopped := false
+// total returns the number of candidate indices (including candidates that
+// assemble later drops for cyclic RMW value dependencies).
+func (sp *enumSpace) total() int { return sp.rfSize * sp.wsSize }
 
-	var rec func(level int)
-	buildWS := func() map[Addr][]int {
-		ws := map[Addr][]int{}
-		for i, a := range addrs {
-			order := wsChoices[i][wsAssign[i]]
-			cp := make([]int, len(order))
-			copy(cp, order)
-			ws[a] = cp
-		}
-		return ws
+// enumScratch holds the per-walker decode buffers, so concurrent walkers
+// never share assignment state.
+type enumScratch struct {
+	rfDigits []int // per read: index into choices[i]
+	wsDigits []int // per addr: index into wsChoices[i]
+	rfAssign []int // per read: chosen source write event
+}
+
+func (sp *enumSpace) newScratch() *enumScratch {
+	return &enumScratch{
+		rfDigits: make([]int, len(sp.reads)),
+		wsDigits: make([]int, len(sp.addrs)),
+		rfAssign: make([]int, len(sp.reads)),
 	}
-	var recWS func(level int)
-	recWS = func(level int) {
-		if stopped {
-			return
-		}
-		if level == len(addrs) {
-			if exec := assemble(p, events, reads, rfAssign, buildWS()); exec != nil {
-				if !visit(exec) {
-					stopped = true
-				}
+}
+
+// decode writes the mixed-radix digits of candidate index g into the
+// scratch buffers: ws digits are least significant (location order), rf
+// digits most significant (read order).
+func (sp *enumSpace) decode(g int, s *enumScratch) {
+	for i := len(sp.addrs) - 1; i >= 0; i-- {
+		n := len(sp.wsChoices[i])
+		s.wsDigits[i] = g % n
+		g /= n
+	}
+	for i := len(sp.reads) - 1; i >= 0; i-- {
+		n := len(sp.choices[i])
+		s.rfDigits[i] = g % n
+		g /= n
+	}
+}
+
+// candidate assembles the execution at candidate index g, or nil when its
+// value propagation does not converge (cyclic RMW value dependency).
+func (sp *enumSpace) candidate(g int, s *enumScratch) *Execution {
+	sp.decode(g, s)
+	for i, d := range s.rfDigits {
+		s.rfAssign[i] = sp.choices[i][d]
+	}
+	ws := map[Addr][]int{}
+	for i, a := range sp.addrs {
+		order := sp.wsChoices[i][s.wsDigits[i]]
+		cp := make([]int, len(order))
+		copy(cp, order)
+		ws[a] = cp
+	}
+	return sp.assemble(s.rfAssign, ws)
+}
+
+// rfAcyclic reports whether the rf assignment in the scratch digits has
+// acyclic value dependencies, i.e. whether assemble would keep (rather
+// than drop) candidates with this rf choice. A read's value depends on its
+// source write; an RMW write's value depends on its read half; a cycle
+// through those edges never converges.
+func (sp *enumSpace) rfAcyclic(s *enumScratch) bool {
+	for i := range sp.reads {
+		w := sp.choices[i][s.rfDigits[i]]
+		for steps := 0; ; steps++ {
+			rd, isRMW := sp.rmwReadOf[w]
+			if !isRMW {
+				break // plain or initial write: chain grounded
 			}
-			return
-		}
-		for i := range wsChoices[level] {
-			if stopped {
-				return
+			if steps >= len(sp.reads) {
+				return false // longer than any acyclic chain
 			}
-			wsAssign[level] = i
-			recWS(level + 1)
+			pos := sp.readPos[rd]
+			w = sp.choices[pos][s.rfDigits[pos]]
 		}
 	}
-	rec = func(level int) {
-		if stopped {
-			return
+	return true
+}
+
+// countRF returns the number of rf assignments whose value dependencies
+// are acyclic, by walking the rf digit odometer.
+func (sp *enumSpace) countRF() int {
+	s := sp.newScratch()
+	count := 0
+	for {
+		if sp.rfAcyclic(s) {
+			count++
 		}
-		if level == len(reads) {
-			recWS(0)
-			return
-		}
-		for _, w := range choices[level] {
-			if stopped {
-				return
+		// Increment the rf odometer (last read least significant).
+		i := len(sp.reads) - 1
+		for ; i >= 0; i-- {
+			s.rfDigits[i]++
+			if s.rfDigits[i] < len(sp.choices[i]) {
+				break
 			}
-			rfAssign[level] = w
-			rec(level + 1)
+			s.rfDigits[i] = 0
+		}
+		if i < 0 {
+			return count
 		}
 	}
-	rec(0)
-	return nil
 }
 
 // CountCandidates returns the number of candidate executions Enumerate
-// would generate for the program, without materializing them. Useful for
-// bounding litmus-test cost.
+// generates for the program, without assembling them: the number of
+// reads-from assignments with acyclic RMW value dependencies times the
+// number of per-location write serializations. Candidates whose value
+// propagation cannot converge are never visited by Enumerate and are not
+// counted here, so the result matches the enumeration exactly. Useful for
+// bounding litmus-test cost and for sizing the enumeration worker pool.
 func CountCandidates(p *Program) (int, error) {
-	events, err := buildEvents(p)
+	sp, err := newEnumSpace(p)
 	if err != nil {
 		return 0, err
 	}
-	writesByAddr := map[Addr][]int{}
-	nonInitWrites := map[Addr]int{}
-	var readChoices int = 1
-	for _, e := range events {
-		if e.IsWrite() {
-			writesByAddr[e.Addr] = append(writesByAddr[e.Addr], e.Index)
-			if !e.IsInit() {
-				nonInitWrites[e.Addr]++
-			}
-		}
-	}
-	for _, e := range events {
-		if e.IsRead() {
-			c := 0
-			for _, w := range writesByAddr[e.Addr] {
-				if !events[w].SameRMW(e) {
-					c++
-				}
-			}
-			readChoices *= c
-		}
-	}
-	wsChoices := 1
-	for _, k := range nonInitWrites {
-		wsChoices *= factorial(k)
-	}
-	return readChoices * wsChoices, nil
-}
-
-func factorial(n int) int {
-	f := 1
-	for i := 2; i <= n; i++ {
-		f *= i
-	}
-	return f
+	return sp.countRF() * sp.wsSize, nil
 }
 
 // buildEvents constructs the event templates for a program: one initial
@@ -237,53 +309,20 @@ func buildEvents(p *Program) ([]*Event, error) {
 }
 
 // assemble builds an Execution for a specific rf and ws assignment,
-// propagating values. It returns nil if value propagation fails to
-// converge (cyclic RMW value dependency), which corresponds to no
-// consistent assignment of values.
-func assemble(p *Program, template []*Event, reads []int, rfAssign []int, ws map[Addr][]int) *Execution {
+// propagating values with the space's shared RMW pairing (rmwReadOf,
+// modify). It returns nil if value propagation fails to converge (cyclic
+// RMW value dependency), which corresponds to no consistent assignment of
+// values — the same rf assignments countRF excludes.
+func (sp *enumSpace) assemble(rfAssign []int, ws map[Addr][]int) *Execution {
 	// Deep copy events so each execution owns its values.
-	events := make([]*Event, len(template))
-	for i, e := range template {
+	events := make([]*Event, len(sp.events))
+	for i, e := range sp.events {
 		cp := *e
 		events[i] = &cp
 	}
 	rf := map[int]int{}
-	for i, rd := range reads {
+	for i, rd := range sp.reads {
 		rf[rd] = rfAssign[i]
-	}
-
-	// Map RMW write events back to their Modify functions.
-	modify := map[int]ModifyFunc{}
-	rmwReadOf := map[int]int{} // write index -> read index of the same RMW
-	rmwID := 0
-	for ti, t := range p.Threads {
-		for ii, in := range t {
-			if in.Kind != InstrRMW {
-				continue
-			}
-			// Locate the two events for this RMW.
-			var rdIdx, wrIdx int = -1, -1
-			for _, e := range events {
-				if e.Thread == ThreadID(ti) && e.PO == ii && e.RMW == rmwID {
-					if e.Kind == KindRMWRead {
-						rdIdx = e.Index
-					} else if e.Kind == KindRMWWrite {
-						wrIdx = e.Index
-					}
-				}
-			}
-			if rdIdx < 0 || wrIdx < 0 {
-				return nil
-			}
-			m := in.Modify
-			if m == nil {
-				v := in.Value
-				m = func(Value) Value { return v }
-			}
-			modify[wrIdx] = m
-			rmwReadOf[wrIdx] = rdIdx
-			rmwID++
-		}
 	}
 
 	// Value propagation: read values come from their rf source; RMW write
@@ -292,13 +331,13 @@ func assemble(p *Program, template []*Event, reads []int, rfAssign []int, ws map
 	// len(events) rounds; cycles never converge and are rejected).
 	determined := map[int]bool{}
 	for _, e := range events {
-		if e.IsWrite() && modify[e.Index] == nil {
+		if e.IsWrite() && sp.modify[e.Index] == nil {
 			determined[e.Index] = true // plain or initial write: value fixed
 		}
 	}
 	for round := 0; round <= len(events); round++ {
 		changed := false
-		for _, rd := range reads {
+		for _, rd := range sp.reads {
 			src := rf[rd]
 			if determined[src] && !determined[rd] {
 				events[rd].Value = events[src].Value
@@ -306,8 +345,8 @@ func assemble(p *Program, template []*Event, reads []int, rfAssign []int, ws map
 				changed = true
 			}
 		}
-		for wrIdx, m := range modify {
-			rdIdx := rmwReadOf[wrIdx]
+		for wrIdx, m := range sp.modify {
+			rdIdx := sp.rmwReadOf[wrIdx]
 			if determined[rdIdx] && !determined[wrIdx] {
 				events[wrIdx].Value = m(events[rdIdx].Value)
 				determined[wrIdx] = true
@@ -324,7 +363,7 @@ func assemble(p *Program, template []*Event, reads []int, rfAssign []int, ws map
 		}
 	}
 
-	return &Execution{Program: p, Events: events, RF: rf, WS: ws}
+	return &Execution{Program: sp.p, Events: events, RF: rf, WS: ws}
 }
 
 // permutations returns all permutations of the input slice. The input is

@@ -239,11 +239,34 @@ func TestPermutations(t *testing.T) {
 	}
 }
 
-func TestFactorial(t *testing.T) {
-	want := map[int]int{0: 1, 1: 1, 2: 2, 3: 6, 4: 24, 5: 120}
-	for n, f := range want {
-		if factorial(n) != f {
-			t.Errorf("factorial(%d) = %d, want %d", n, factorial(n), f)
-		}
+func TestCountCandidatesRMWValueCycles(t *testing.T) {
+	// Two test-and-sets on one location: the candidate where each Ra reads
+	// from the other's Wa has a cyclic value dependency and is dropped by
+	// assemble, so CountCandidates must not include it either.
+	p := NewProgram("tas-race")
+	p.AddThread(TestAndSet(0, "r0"))
+	p.AddThread(TestAndSet(0, "r1"))
+	execs, err := Enumerate(p)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	count, err := CountCandidates(p)
+	if err != nil {
+		t.Fatalf("CountCandidates: %v", err)
+	}
+	if len(execs) != count {
+		t.Fatalf("Enumerate=%d CountCandidates=%d; the cyclic rf assignment must be excluded from both", len(execs), count)
+	}
+	// Each Ra can read init or the other Wa (2x2 rf), with ws = 2
+	// coherence orders; exactly one rf assignment (mutual reads) is
+	// cyclic, leaving 3x2 = 6 candidates.
+	if count != 6 {
+		t.Fatalf("CountCandidates = %d, want 6", count)
+	}
+}
+
+func TestCountCandidatesRejectsInvalidProgram(t *testing.T) {
+	if _, err := CountCandidates(NewProgram("bad")); err == nil {
+		t.Fatal("CountCandidates of an empty program must fail, like Enumerate")
 	}
 }

@@ -2,6 +2,7 @@ package memmodel
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -341,6 +342,46 @@ func (x *Execution) FinalMemory() map[Addr]Value {
 		out[addr] = x.Events[last].Value
 	}
 	return out
+}
+
+// Key returns a canonical, deterministic fingerprint of the execution:
+// the reads-from pairs in read order, the per-location coherence orders in
+// location order, and the final register values. Two executions of the
+// same program are the same candidate exactly when their keys are equal,
+// so keys serve as multiset identities when comparing enumerations (the
+// sequential-vs-parallel differential tests) — unlike String, whose map
+// iteration order is nondeterministic.
+func (x *Execution) Key() string {
+	var b strings.Builder
+	reads := make([]int, 0, len(x.RF))
+	for rd := range x.RF {
+		reads = append(reads, rd)
+	}
+	sort.Ints(reads)
+	b.WriteString("rf:")
+	for _, rd := range reads {
+		fmt.Fprintf(&b, " %d<-%d", rd, x.RF[rd])
+	}
+	addrs := make([]int, 0, len(x.WS))
+	for a := range x.WS {
+		addrs = append(addrs, int(a))
+	}
+	sort.Ints(addrs)
+	b.WriteString(" ws:")
+	for _, a := range addrs {
+		fmt.Fprintf(&b, " %s=%v", AddrName(Addr(a)), x.WS[Addr(a)])
+	}
+	regs := x.RegisterValues()
+	names := make([]string, 0, len(regs))
+	for k := range regs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	b.WriteString(" regs:")
+	for _, k := range names {
+		fmt.Fprintf(&b, " %s=%d", k, int(regs[k]))
+	}
+	return b.String()
 }
 
 // String renders the execution compactly: events, rf and ws.

@@ -1,0 +1,289 @@
+package memmodel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// enumConfig collects the enumeration options.
+type enumConfig struct {
+	ctx       context.Context
+	workers   int
+	unordered bool
+	filter    func(*Execution) bool
+}
+
+// EnumOption configures EnumerateFunc and EnumerateParallel.
+type EnumOption func(*enumConfig)
+
+// EnumContext makes the enumeration honour ctx: cancellation stops every
+// walker promptly and the enumeration returns ctx's error.
+func EnumContext(ctx context.Context) EnumOption {
+	return func(c *enumConfig) { c.ctx = ctx }
+}
+
+// EnumWorkers partitions the candidate index space into n contiguous
+// ranges, each walked by its own worker goroutine with private assignment
+// state. Values below 2 keep the enumeration sequential; n is further
+// clamped to the candidate count.
+func EnumWorkers(n int) EnumOption {
+	return func(c *enumConfig) { c.workers = n }
+}
+
+// EnumUnordered trades the deterministic visit order of the parallel
+// enumeration for lower merge overhead: visits are serialized through a
+// mutex in worker completion order instead of being merged back into
+// candidate index order. The visited multiset is identical either way, and
+// visit is still never called concurrently. Sequential enumeration ignores
+// the option.
+func EnumUnordered() EnumOption {
+	return func(c *enumConfig) { c.unordered = true }
+}
+
+// EnumFilter drops candidates for which pred returns false before they
+// reach visit. Unlike visit, the filter runs inside the worker goroutines
+// — concurrently when workers > 1 — which is exactly what makes expensive
+// per-candidate work (validity checking) scale: pred must therefore be
+// safe for concurrent use.
+func EnumFilter(pred func(*Execution) bool) EnumOption {
+	return func(c *enumConfig) { c.filter = pred }
+}
+
+// EnumerateFunc generates all candidate executions of a litmus program and
+// streams them to visit, one at a time: every combination of a reads-from
+// map (each read may read from any write to the same location, including
+// the initial write, but not from the write half of its own RMW) and a
+// per-location write serialization (every permutation of the non-initial
+// writes, with the initial write first).
+//
+// Values are then propagated: plain writes keep their program value and
+// RMW writes receive Modify(value read by their read half). Candidates
+// whose value propagation does not converge (cyclic value dependencies
+// through RMWs) are dropped and never reach visit.
+//
+// The visited executions are candidates only: callers must still filter
+// by validity (Execution.BaseValid for the base model, or the RMW-aware
+// check in internal/core), either in visit or concurrently via EnumFilter.
+// Each visited execution owns its events and may be retained. Returning
+// false from visit stops the enumeration early.
+//
+// By default the enumeration is sequential. With EnumWorkers(n>1) the
+// candidate index space is split into n contiguous ranges walked
+// concurrently; visit is still never called concurrently, and unless
+// EnumUnordered is given the visits arrive in exactly the sequential
+// enumeration order.
+func EnumerateFunc(p *Program, visit func(*Execution) bool, opts ...EnumOption) error {
+	cfg := enumConfig{ctx: context.Background(), workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.ctx == nil {
+		cfg.ctx = context.Background()
+	}
+	sp, err := newEnumSpace(p)
+	if err != nil {
+		return err
+	}
+	workers := cfg.workers
+	if total := sp.total(); workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		return sp.scan(&cfg, 0, sp.total(), nil, visit)
+	}
+	if cfg.unordered {
+		return sp.runUnordered(&cfg, workers, visit)
+	}
+	return sp.runOrdered(&cfg, workers, visit)
+}
+
+// EnumerateParallel enumerates the candidate executions of a litmus
+// program with the rf×ws choice space statically partitioned into
+// contiguous index ranges across workers goroutines (workers <= 0 means
+// runtime.GOMAXPROCS(0)). Each worker walks its range with private
+// reads-from and write-serialization assignments; the visitor callbacks
+// are merged so that visit is never called concurrently and, unless
+// EnumUnordered is given, arrive in exactly the order sequential
+// EnumerateFunc would produce. Returning false from visit cancels every
+// worker and stops the enumeration after that visit, and a cancelled ctx
+// stops the workers and returns ctx's error. See EnumerateFunc for the
+// candidate-set semantics.
+func EnumerateParallel(ctx context.Context, p *Program, workers int, visit func(*Execution) bool, opts ...EnumOption) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	base := []EnumOption{EnumWorkers(workers)}
+	if ctx != nil {
+		base = append(base, EnumContext(ctx))
+	}
+	return EnumerateFunc(p, visit, append(base, opts...)...)
+}
+
+// AutoEnumThreshold is the candidate count above which AutoEnumWorkers
+// considers a program large enough to be worth fanning one enumeration
+// across GOMAXPROCS workers. Below it, per-candidate work is too small to
+// amortize the goroutine and merge machinery.
+const AutoEnumThreshold = 4096
+
+// AutoEnumWorkers returns the worker count the candidate-count heuristic
+// picks for enumerating p: runtime.GOMAXPROCS(0) when the candidate space
+// reaches AutoEnumThreshold (IRIW-class programs and beyond), 1 for small
+// programs (and for programs CountCandidates cannot size).
+func AutoEnumWorkers(p *Program) int {
+	n, err := CountCandidates(p)
+	if err != nil || n < AutoEnumThreshold {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// scan walks candidate indices [lo, hi) in ascending order: it assembles
+// each candidate, applies the filter, and hands survivors to emit. It
+// returns early without error when emit returns false or stop reports
+// true, and returns ctx's error when the context is cancelled.
+func (sp *enumSpace) scan(cfg *enumConfig, lo, hi int, stop *atomic.Bool, emit func(*Execution) bool) error {
+	scratch := sp.newScratch()
+	done := cfg.ctx.Done()
+	for g := lo; g < hi; g++ {
+		if stop != nil && stop.Load() {
+			return nil
+		}
+		if done != nil && (g-lo)&63 == 0 {
+			select {
+			case <-done:
+				return cfg.ctx.Err()
+			default:
+			}
+		}
+		x := sp.candidate(g, scratch)
+		if x == nil {
+			continue // cyclic RMW value dependency: not a candidate
+		}
+		if cfg.filter != nil && !cfg.filter(x) {
+			continue
+		}
+		if !emit(x) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ranges splits [0, total) into n contiguous, near-equal index ranges.
+func (sp *enumSpace) ranges(n int) [][2]int {
+	total := sp.total()
+	out := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = [2]int{i * total / n, (i + 1) * total / n}
+	}
+	return out
+}
+
+// runUnordered fans the index ranges across workers and serializes visits
+// through a mutex, in worker completion order. The stop flag is flipped
+// under the same mutex as the visit, so a false return stops the
+// enumeration after exactly that visit.
+func (sp *enumSpace) runUnordered(cfg *enumConfig, workers int, visit func(*Execution) bool) error {
+	var (
+		stop atomic.Bool
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	emit := func(x *Execution) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if stop.Load() {
+			return false
+		}
+		if !visit(x) {
+			stop.Store(true)
+			return false
+		}
+		return true
+	}
+	errs := make([]error, workers)
+	for w, r := range sp.ranges(workers) {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = sp.scan(cfg, lo, hi, &stop, emit)
+		}(w, r[0], r[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enumBatch is the number of executions a worker buffers before handing
+// them to the ordered merger; it bounds the merge channel traffic without
+// letting per-worker memory grow past workers × enumBatch × (channel
+// capacity + 1) executions.
+const enumBatch = 64
+
+// runOrdered fans the index ranges across workers and merges their
+// batches back in range order, so visits arrive in exactly the sequential
+// enumeration order. When visit returns false the merger raises the stop
+// flag and drains the remaining workers without visiting.
+func (sp *enumSpace) runOrdered(cfg *enumConfig, workers int, visit func(*Execution) bool) error {
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	chans := make([]chan []*Execution, workers)
+	errs := make([]error, workers)
+	for w, r := range sp.ranges(workers) {
+		ch := make(chan []*Execution, 2)
+		chans[w] = ch
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer close(ch)
+			batch := make([]*Execution, 0, enumBatch)
+			errs[w] = sp.scan(cfg, lo, hi, &stop, func(x *Execution) bool {
+				batch = append(batch, x)
+				if len(batch) == enumBatch {
+					ch <- batch
+					batch = make([]*Execution, 0, enumBatch)
+				}
+				return true
+			})
+			// Flush the partial batch only on a clean range completion:
+			// after an early stop nobody will visit it, and after a
+			// context error delivering it would contradict EnumContext's
+			// promise that cancellation stops the enumeration.
+			if len(batch) > 0 && !stop.Load() && errs[w] == nil {
+				ch <- batch
+			}
+		}(w, r[0], r[1])
+	}
+
+	// Merge worker output in range order. After an early stop, keep
+	// draining so no worker blocks on a full channel.
+	stopped := false
+	for _, ch := range chans {
+		for batch := range ch {
+			for _, x := range batch {
+				if stopped {
+					break
+				}
+				if !visit(x) {
+					stopped = true
+					stop.Store(true)
+				}
+			}
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

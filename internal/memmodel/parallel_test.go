@@ -1,0 +1,298 @@
+package memmodel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// parallelTestPrograms returns a mix of enumeration shapes: RMW-free,
+// RMW chains with dropped cyclic candidates, multi-location ws
+// permutations, and a three-thread program with a candidate set in the
+// thousands.
+func parallelTestPrograms() []*Program {
+	sbf := NewProgram("SB+fences")
+	sbf.AddThread(Write(0, 1), Fence(), Read(1, "r0"))
+	sbf.AddThread(Write(1, 1), Fence(), Read(0, "r1"))
+
+	tas := NewProgram("tas-race")
+	tas.AddThread(TestAndSet(0, "r0"))
+	tas.AddThread(TestAndSet(0, "r1"))
+
+	coww := NewProgram("coww")
+	coww.AddThread(Write(0, 1), Write(1, 1))
+	coww.AddThread(Write(0, 2), Write(1, 2))
+
+	big := NewProgram("three-thread")
+	big.AddThread(Write(0, 1), FetchAdd(1, "a0", 1), Read(2, "r0"))
+	big.AddThread(Write(1, 1), FetchAdd(2, "a1", 1), Read(0, "r1"))
+	big.AddThread(Write(2, 1), FetchAdd(0, "a2", 1), Read(1, "r2"))
+
+	return []*Program{storeBuffering(), messagePassing(), sbf, tas, coww, big}
+}
+
+// sequentialKeys enumerates the program sequentially and returns the
+// canonical key of every candidate, in enumeration order.
+func sequentialKeys(t *testing.T, p *Program) []string {
+	t.Helper()
+	var keys []string
+	if err := EnumerateFunc(p, func(x *Execution) bool {
+		keys = append(keys, x.Key())
+		return true
+	}); err != nil {
+		t.Fatalf("%s: EnumerateFunc: %v", p.Name, err)
+	}
+	return keys
+}
+
+func TestEnumerateParallelOrderedMatchesSequential(t *testing.T) {
+	for _, p := range parallelTestPrograms() {
+		want := sequentialKeys(t, p)
+		for _, workers := range []int{1, 2, 3, 8} {
+			var got []string
+			err := EnumerateParallel(context.Background(), p, workers, func(x *Execution) bool {
+				got = append(got, x.Key())
+				return true
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", p.Name, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: visited %d executions, want %d", p.Name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: visit %d out of order:\n got %s\nwant %s", p.Name, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateParallelUnorderedSameMultiset(t *testing.T) {
+	for _, p := range parallelTestPrograms() {
+		want := sequentialKeys(t, p)
+		sort.Strings(want)
+		for _, workers := range []int{2, 8} {
+			var got []string
+			err := EnumerateParallel(context.Background(), p, workers, func(x *Execution) bool {
+				got = append(got, x.Key())
+				return true
+			}, EnumUnordered())
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", p.Name, workers, err)
+			}
+			sort.Strings(got)
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: visited %d executions, want %d", p.Name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: multisets differ at %d:\n got %s\nwant %s", p.Name, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateParallelEarlyStopExactlyK(t *testing.T) {
+	for _, p := range parallelTestPrograms() {
+		total := len(sequentialKeys(t, p))
+		for _, workers := range []int{1, 2, 8} {
+			for _, unordered := range []bool{false, true} {
+				k := total / 2
+				if k == 0 {
+					k = 1
+				}
+				opts := []EnumOption{}
+				if unordered {
+					opts = append(opts, EnumUnordered())
+				}
+				visited := 0
+				err := EnumerateParallel(context.Background(), p, workers, func(x *Execution) bool {
+					visited++
+					return visited < k
+				}, opts...)
+				if err != nil {
+					t.Fatalf("%s workers=%d unordered=%v: %v", p.Name, workers, unordered, err)
+				}
+				if visited != k {
+					t.Fatalf("%s workers=%d unordered=%v: early stop after %d visits, want exactly %d",
+						p.Name, workers, unordered, visited, k)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateParallelOrderedEarlyStopPrefix(t *testing.T) {
+	// In ordered mode the k visits before an early stop must be exactly
+	// the first k sequential candidates.
+	p := parallelTestPrograms()[5] // three-thread
+	want := sequentialKeys(t, p)
+	k := 17
+	var got []string
+	err := EnumerateParallel(context.Background(), p, 8, func(x *Execution) bool {
+		got = append(got, x.Key())
+		return len(got) < k
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != k {
+		t.Fatalf("visited %d, want %d", len(got), k)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("visit %d is not the sequential prefix", i)
+		}
+	}
+}
+
+func TestEnumerateParallelContextCancellation(t *testing.T) {
+	p := parallelTestPrograms()[5] // three-thread, thousands of candidates
+
+	// Already-cancelled context: no candidate is ever visited.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		visits := 0
+		err := EnumerateParallel(cancelled, p, workers, func(*Execution) bool {
+			visits++
+			return true
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if visits != 0 {
+			t.Fatalf("workers=%d: %d visits after pre-cancelled context", workers, visits)
+		}
+	}
+
+	// Cancellation mid-enumeration surfaces the context error.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	visits := 0
+	err := EnumerateParallel(ctx, p, 4, func(*Execution) bool {
+		visits++
+		if visits == 10 {
+			cancelMid()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEnumerateParallelFilterRunsInWorkers(t *testing.T) {
+	// The filter sees every assembled candidate; visit sees only the
+	// survivors, still in deterministic order.
+	p := storeBuffering()
+	want := sequentialKeys(t, p)
+	keep := func(x *Execution) bool {
+		// Keep executions where the first read reads from the initial
+		// write.
+		for rd, w := range x.RF {
+			if x.Events[rd].Thread == 0 {
+				return x.Events[w].IsInit()
+			}
+		}
+		return false
+	}
+	var wantKept []string
+	if err := EnumerateFunc(p, func(x *Execution) bool {
+		if keep(x) {
+			wantKept = append(wantKept, x.Key())
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(wantKept) == 0 || len(wantKept) == len(want) {
+		t.Fatalf("filter is not discriminating: kept %d of %d", len(wantKept), len(want))
+	}
+	var got []string
+	err := EnumerateParallel(context.Background(), p, 4, func(x *Execution) bool {
+		got = append(got, x.Key())
+		return true
+	}, EnumFilter(keep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wantKept) {
+		t.Fatalf("visited %d filtered executions, want %d", len(got), len(wantKept))
+	}
+	for i := range got {
+		if got[i] != wantKept[i] {
+			t.Fatalf("filtered visit %d out of order", i)
+		}
+	}
+}
+
+func TestEnumerateParallelDefaultWorkers(t *testing.T) {
+	// workers <= 0 means GOMAXPROCS; the call must still enumerate
+	// everything.
+	p := storeBuffering()
+	want := len(sequentialKeys(t, p))
+	got := 0
+	if err := EnumerateParallel(context.Background(), p, 0, func(*Execution) bool {
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("visited %d, want %d", got, want)
+	}
+}
+
+func TestAutoEnumWorkers(t *testing.T) {
+	small := storeBuffering()
+	if w := AutoEnumWorkers(small); w != 1 {
+		t.Fatalf("AutoEnumWorkers(SB) = %d, want 1 (only %d candidates)", w, 4)
+	}
+	// Three locations with three non-initial writes each (6^3 ws orders)
+	// and three four-choice reads push the candidate space past the
+	// threshold.
+	big := NewProgram("wide")
+	big.AddThread(Write(0, 1), Write(1, 1), Write(2, 1), Read(0, "r0"))
+	big.AddThread(Write(0, 2), Write(1, 2), Write(2, 2), Read(1, "r1"))
+	big.AddThread(Write(0, 3), Write(1, 3), Write(2, 3), Read(2, "r2"))
+	n, err := CountCandidates(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < AutoEnumThreshold {
+		t.Fatalf("test program too small for the heuristic: %d candidates", n)
+	}
+	if w := AutoEnumWorkers(big); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("AutoEnumWorkers(wide) = %d, want GOMAXPROCS=%d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := AutoEnumWorkers(NewProgram("bad")); w != 1 {
+		t.Fatalf("AutoEnumWorkers(invalid) = %d, want 1", w)
+	}
+}
+
+func TestEnumerateFuncWorkersOption(t *testing.T) {
+	// The functional options on EnumerateFunc are the same machinery as
+	// EnumerateParallel.
+	p := messagePassing()
+	want := sequentialKeys(t, p)
+	var got []string
+	if err := EnumerateFunc(p, func(x *Execution) bool {
+		got = append(got, x.Key())
+		return true
+	}, EnumWorkers(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visit %d out of order", i)
+		}
+	}
+}

@@ -49,6 +49,11 @@ type (
 // tests and validating the C/C++11 mappings.
 func RunTable1() ([]Table1Row, error) { return experiments.RunTable1() }
 
+// RunTable1Opts is RunTable1 honouring the options' EnumWorkers: each
+// verdict's candidate enumeration is fanned across that many goroutines
+// (0 picks the per-program candidate-count heuristic).
+func RunTable1Opts(o Options) ([]Table1Row, error) { return experiments.RunTable1Opts(o) }
+
 // CheckTable1Matches verifies the regenerated Table 1 against the paper.
 func CheckTable1Matches(rows []Table1Row) error { return experiments.CheckTable1Matches(rows) }
 
@@ -66,6 +71,10 @@ func RenderTable3(rows []Table3Row) string { return experiments.RenderTable3(row
 
 // RunTable4 regenerates the Table 4 mapping-soundness matrix.
 func RunTable4() ([]Table4Row, error) { return experiments.RunTable4() }
+
+// RunTable4Opts is RunTable4 honouring the options' EnumWorkers, like
+// RunTable1Opts.
+func RunTable4Opts(o Options) ([]Table4Row, error) { return experiments.RunTable4Opts(o) }
 
 // RenderTable4 renders Table 4 rows in the paper's layout.
 func RenderTable4(rows []Table4Row) string { return experiments.RenderTable4(rows) }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/cpp11"
 	"repro/internal/sim"
 )
 
@@ -45,6 +46,7 @@ type SimRun struct {
 type options struct {
 	ctx         context.Context
 	parallelism int
+	enumWorkers int
 	observer    Observer
 	types       []AtomicityType
 }
@@ -69,6 +71,20 @@ func WithParallelism(n int) Option {
 // in completion order. fn is never called concurrently.
 func WithObserver(fn Observer) Option {
 	return func(o *options) { o.observer = fn }
+}
+
+// WithEnumWorkers sets how many goroutines each single litmus verdict or
+// mapping validation fans its candidate enumeration across: the rf×ws
+// choice space is split into contiguous index ranges, one per worker,
+// with the validity check running inside the workers. The default, 0,
+// picks per program via the candidate-count heuristic — GOMAXPROCS for
+// IRIW-class programs (at least memmodel.AutoEnumThreshold candidates), 1
+// for small ones, so small suites don't pay goroutine overhead while one
+// huge verdict no longer serializes on a single core. This parallelism is
+// inside one work unit and multiplies with WithParallelism's unit-level
+// pool.
+func WithEnumWorkers(n int) Option {
+	return func(o *options) { o.enumWorkers = n }
 }
 
 // WithRMWTypes restricts the atomicity types the Runner checks or sweeps.
@@ -205,7 +221,7 @@ func (r *Runner) CheckTests(tests ...*Test) ([]TestResult, error) {
 	results := make([]TestResult, len(units))
 	err := r.runUnits(len(units), func(i int) error {
 		u := units[i]
-		res, err := tests[u.ti].Run(types[u.yi])
+		res, err := tests[u.ti].RunParallel(r.opts.ctx, types[u.yi], r.opts.enumWorkers)
 		if err != nil {
 			return err
 		}
@@ -243,7 +259,7 @@ func (r *Runner) ValidateMappings(programs ...*Cpp11Program) ([]MappingResult, e
 	results := make([]MappingResult, len(units))
 	err := r.runUnits(len(units), func(i int) error {
 		u := units[i]
-		res, err := ValidateMapping(programs[u.pi], mappings[u.mi], types[u.yi])
+		res, err := cpp11.ValidateMappingParallel(r.opts.ctx, programs[u.pi], mappings[u.mi], types[u.yi], r.opts.enumWorkers)
 		if err != nil {
 			return err
 		}
@@ -259,27 +275,11 @@ func (r *Runner) ValidateMappings(programs ...*Cpp11Program) ([]MappingResult, e
 
 // SweepTrace simulates one trace under every configured RMW type, one
 // run per work unit. The returned slice is ordered like the configured
-// types. The trace is shared read-only across the pool.
+// types. The trace is shared read-only across the pool; this is
+// SweepSource over the trace's own source, since a materialized run is
+// defined as replaying the trace's streams.
 func (r *Runner) SweepTrace(cfg SimConfig, trace *Trace) ([]SimRun, error) {
-	types := r.opts.types
-	runs := make([]SimRun, len(types))
-	err := r.runUnits(len(types), func(i int) error {
-		s, err := sim.New(cfg.WithRMWType(types[i]))
-		if err != nil {
-			return err
-		}
-		res, err := s.Run(trace)
-		if err != nil {
-			return err
-		}
-		runs[i] = SimRun{Trace: trace.Name, Type: types[i], Result: res}
-		r.emit(Event{Sim: &runs[i]})
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return runs, nil
+	return r.SweepSource(cfg, trace.Source())
 }
 
 // SweepSource simulates one streaming trace source under every configured

@@ -11,6 +11,9 @@
 //	experiments -j 8                  simulation worker-pool parallelism
 //	experiments -enum-workers 8       goroutines per model-checking verdict
 //	experiments -materialize          pre-build whole traces in memory
+//	experiments -cache                cache simulation results in ~/.cache/rmwtso
+//	experiments -cache-dir DIR        cache simulation results under DIR
+//	experiments -cache-clear          clear the cache directory first
 //
 // The semantics experiments (Tables 1 and 4) are exact model-checking
 // results and always match the paper. The simulation experiments (Table 3,
@@ -19,6 +22,13 @@
 // run streaming its trace from the workload generator at bounded memory
 // (pass -materialize to share pre-built traces across the RMW types
 // instead — identical results, more memory, no per-type regeneration).
+//
+// Every simulator run is a pure function of (config, trace, seed, scale,
+// RMW type), so with -cache (or -cache-dir) results are stored in a
+// content-addressed cache and warm reruns regenerate byte-identical
+// tables without executing a single cached simulation; the hit/miss
+// counters are reported on stderr and per-run cache hits are flagged by
+// -progress.
 package main
 
 import (
@@ -43,8 +53,28 @@ func main() {
 		enumW    = flag.Int("enum-workers", 0, "goroutines per model-checking verdict (default: auto by candidate count)")
 		progress = flag.Bool("progress", false, "stream per-run progress while simulating")
 		mat      = flag.Bool("materialize", false, "pre-build whole traces in memory instead of streaming them")
+		cacheOn  = flag.Bool("cache", false, "cache simulation results (default directory: ~/.cache/rmwtso)")
+		cacheDir = flag.String("cache-dir", "", "cache simulation results under this directory (implies -cache)")
+		cacheClr = flag.Bool("cache-clear", false, "clear the cache directory before running (implies -cache)")
 	)
 	flag.Parse()
+
+	// Reject flag values that would otherwise flow as garbage into the
+	// workload generator or the enumeration heuristic (explicit
+	// "-cores 0"/"-scale 0" included; the unset default 0 means "keep
+	// the preset").
+	if *cores < 0 || (*cores == 0 && flagWasSet("cores")) {
+		fatalUsage(fmt.Errorf("-cores must be positive, got %d", *cores))
+	}
+	if *scale < 0 || (*scale == 0 && flagWasSet("scale")) {
+		fatalUsage(fmt.Errorf("-scale must be positive, got %g", *scale))
+	}
+	if *enumW < 0 {
+		fatalUsage(fmt.Errorf("-enum-workers must be non-negative, got %d", *enumW))
+	}
+	if *par < 0 {
+		fatalUsage(fmt.Errorf("-j must be non-negative, got %d", *par))
+	}
 
 	opts := rmwtso.DefaultOptions()
 	if *quick {
@@ -63,6 +93,10 @@ func main() {
 	if *enumW > 0 {
 		opts.EnumWorkers = *enumW
 	}
+
+	cache, err := rmwtso.OpenCacheFromFlags(*cacheOn, *cacheDir, *cacheClr)
+	check(err)
+	opts.Cache = cache
 
 	if !*all && *table == "" && *fig == "" && !*summary {
 		flag.Usage()
@@ -93,6 +127,7 @@ func main() {
 
 	needSim := *all || *table == "3" || *fig == "11a" || *fig == "11b" || *summary
 	if !needSim {
+		reportCache(cache)
 		return
 	}
 
@@ -100,13 +135,20 @@ func main() {
 	if *par > 0 {
 		runnerOpts = append(runnerOpts, rmwtso.WithParallelism(*par))
 	}
+	if cache != nil {
+		runnerOpts = append(runnerOpts, rmwtso.WithCache(cache))
+	}
 	if *progress {
 		runnerOpts = append(runnerOpts, rmwtso.WithObserver(func(e rmwtso.Event) {
 			if e.Sim == nil {
 				return
 			}
-			fmt.Fprintf(os.Stderr, "  done: %s under %s (%d cycles)\n",
-				e.Sim.Trace, e.Sim.Type, e.Sim.Result.Cycles)
+			verb := "done"
+			if e.Sim.CacheHit {
+				verb = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "  %s: %s under %s (%d cycles)\n",
+				verb, e.Sim.Trace, e.Sim.Type, e.Sim.Result.Cycles)
 		}))
 	}
 	runner := rmwtso.NewRunner(runnerOpts...)
@@ -134,6 +176,27 @@ func main() {
 	if *all || *summary {
 		fmt.Println(rmwtso.Summarize(figA, figB).Render())
 	}
+	reportCache(cache)
+}
+
+// reportCache prints the cache traffic counters on stderr (never stdout,
+// so cached and uncached table output stays byte-identical).
+func reportCache(cache *rmwtso.Cache) {
+	if cache == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cache: %s (dir %s)\n", cache.Stats(), cache.Dir())
+}
+
+// flagWasSet reports whether the named flag was given explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func check(err error) {
@@ -141,4 +204,11 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// fatalUsage reports a bad flag combination and exits with the
+// conventional usage status.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(2)
 }

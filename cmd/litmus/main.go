@@ -11,12 +11,20 @@
 //	litmus -j 8              worker-pool parallelism (default: GOMAXPROCS)
 //	litmus -enum-workers 8   fan each verdict's enumeration across 8 goroutines
 //	litmus -v                also stream the outcome sets as verdicts finish
+//	litmus -cache            serve repeated verdicts from ~/.cache/rmwtso
+//	litmus -cache-dir DIR    serve repeated verdicts from a cache under DIR
+//	litmus -cache-clear      clear the cache directory first
 //
 // -j parallelizes across verdicts (one per test and atomicity type);
 // -enum-workers parallelizes inside one verdict by partitioning its rf×ws
 // candidate space, which is what helps when a single IRIW-sized program
 // dominates the wall clock. The default, 0, picks per program: GOMAXPROCS
 // for large candidate spaces, 1 for small ones.
+//
+// A verdict is a pure function of the test's canonical rendering and the
+// atomicity type, so with -cache repeated checks (across processes, when
+// the disk tier is on) replay the stored outcome sets instead of
+// enumerating; hit counters are reported on stderr.
 package main
 
 import (
@@ -38,10 +46,28 @@ func main() {
 		par      = flag.Int("j", 0, "worker-pool parallelism (default: GOMAXPROCS)")
 		enumW    = flag.Int("enum-workers", 0, "goroutines per verdict's candidate enumeration (default: auto by candidate count)")
 		verbose  = flag.Bool("v", false, "stream outcome sets as verdicts finish")
+		cacheOn  = flag.Bool("cache", false, "cache verdicts (default directory: ~/.cache/rmwtso)")
+		cacheDir = flag.String("cache-dir", "", "cache verdicts under this directory (implies -cache)")
+		cacheClr = flag.Bool("cache-clear", false, "clear the cache directory before running (implies -cache)")
 	)
 	flag.Parse()
 
+	if *par < 0 {
+		fatalUsage(fmt.Errorf("-j must be non-negative, got %d", *par))
+	}
+	if *enumW < 0 {
+		fatalUsage(fmt.Errorf("-enum-workers must be non-negative, got %d", *enumW))
+	}
+
+	cache, err := rmwtso.OpenCacheFromFlags(*cacheOn, *cacheDir, *cacheClr)
+	if err != nil {
+		fatal(err)
+	}
+
 	var opts []rmwtso.Option
+	if cache != nil {
+		opts = append(opts, rmwtso.WithCache(cache))
+	}
 	if *typeName != "" {
 		t, err := rmwtso.ParseAtomicityType(*typeName)
 		if err != nil {
@@ -111,6 +137,9 @@ func main() {
 		}
 	}
 	fmt.Print(rmwtso.Report(results))
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "litmus: cache: %s (dir %s)\n", cache.Stats(), cache.Dir())
+	}
 	if mismatches > 0 {
 		fmt.Fprintf(os.Stderr, "%d result(s) do not match their recorded expectation\n", mismatches)
 		os.Exit(1)
@@ -120,4 +149,10 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "litmus:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a bad flag value and exits with the usage status.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "litmus:", err)
+	os.Exit(2)
 }

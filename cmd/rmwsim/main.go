@@ -17,6 +17,12 @@
 // which is exactly why the naive implementation that waits for it wedges.
 // -enum-workers fans the verdict's candidate enumeration across that many
 // goroutines (0 picks by candidate count).
+//
+// -cache (or -cache-dir DIR) serves repeated runs from the
+// content-addressed result cache: a run is keyed by (config, trace, seed,
+// scale, RMW type), so an identical invocation replays the stored
+// statistics instead of simulating. -cache-clear empties the cache
+// directory first.
 package main
 
 import (
@@ -41,12 +47,32 @@ func main() {
 		check     = flag.Bool("check", false, "model-check the fig10 litmus test before simulating it")
 		enumW     = flag.Int("enum-workers", 0, "goroutines per -check verdict's enumeration (default: auto by candidate count)")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
+		cacheOn   = flag.Bool("cache", false, "cache simulation results (default directory: ~/.cache/rmwtso)")
+		cacheDir  = flag.String("cache-dir", "", "cache simulation results under this directory (implies -cache)")
+		cacheClr  = flag.Bool("cache-clear", false, "clear the cache directory before running (implies -cache)")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("Benchmarks:", strings.Join(rmwtso.ProfileNames(), ", "), "and fig10")
 		return
+	}
+
+	// Reject values the workload generator and heuristics would otherwise
+	// accept silently as garbage.
+	if *cores <= 0 {
+		fatalUsage(fmt.Errorf("-cores must be positive, got %d", *cores))
+	}
+	if *scale <= 0 {
+		fatalUsage(fmt.Errorf("-scale must be positive, got %g", *scale))
+	}
+	if *enumW < 0 {
+		fatalUsage(fmt.Errorf("-enum-workers must be non-negative, got %d", *enumW))
+	}
+
+	cache, err := rmwtso.OpenCacheFromFlags(*cacheOn, *cacheDir, *cacheClr)
+	if err != nil {
+		fatal(err)
 	}
 
 	typ, err := rmwtso.ParseAtomicityType(*typeName)
@@ -64,6 +90,11 @@ func main() {
 		var opts []rmwtso.Option
 		if *enumW > 0 {
 			opts = append(opts, rmwtso.WithEnumWorkers(*enumW))
+		}
+		if cache != nil {
+			// The same cache that replays simulation results also replays
+			// the model-checking verdict.
+			opts = append(opts, rmwtso.WithCache(cache))
 		}
 		results, err := rmwtso.TestsOf(t).Run(opts...)
 		if err != nil {
@@ -93,26 +124,42 @@ func main() {
 		if typeSet {
 			fatal(fmt.Errorf("-sweep runs all three RMW types and cannot be combined with -type"))
 		}
-		runner := rmwtso.NewRunner()
-		runs, err := runner.SweepSource(cfg, source)
+		runner := rmwtso.NewRunner(rmwtso.WithCache(cache))
+		runs, err := runner.SweepSourceCached(cfg, source, *seed, *scale)
 		if err != nil {
 			fatal(err)
 		}
 		for _, run := range runs {
+			if run.CacheHit {
+				fmt.Fprintf(os.Stderr, "rmwsim: %s under %s served from cache\n", run.Trace, run.Type)
+			}
 			fmt.Print(run.Result.String())
 		}
+		reportCache(cache)
 		return
 	}
 
-	res, err := rmwtso.SimulateSource(cfg.WithRMWType(typ), source)
+	res, hit, err := rmwtso.SimulateSourceCached(cache, cfg.WithRMWType(typ), source, *seed, *scale)
 	if err != nil {
 		fatal(err)
 	}
+	if hit {
+		fmt.Fprintln(os.Stderr, "rmwsim: result served from cache")
+	}
 	fmt.Print(res.String())
+	reportCache(cache)
 	if res.Deadlocked {
 		fmt.Println("the run deadlocked: this is the Fig. 10 write-deadlock that the bloom-filter protocol prevents")
 		os.Exit(1)
 	}
+}
+
+// reportCache prints the cache counters on stderr when caching is on.
+func reportCache(cache *rmwtso.Cache) {
+	if cache == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "rmwsim: cache: %s (dir %s)\n", cache.Stats(), cache.Dir())
 }
 
 func buildSource(bench, replace string, cores int, scale float64, seed int64) (rmwtso.TraceSource, error) {
@@ -128,13 +175,10 @@ func buildSource(bench, replace string, cores int, scale float64, seed int64) (r
 	if err != nil {
 		return nil, err
 	}
-	if scale > 0 && scale != 1.0 {
-		n := int(float64(profile.Iterations) * scale)
-		if n < 8 {
-			n = 8
-		}
-		profile.Iterations = n
-	}
+	// Scale through the harness' own rule (ScaledProfile) rather than a
+	// local copy: rmwsim and cmd/experiments share one result cache, so
+	// the same -scale must mean the same workload in both binaries.
+	profile = rmwtso.Options{Scale: scale}.ScaledProfile(profile)
 	gen := rmwtso.Generator{Cores: cores, Seed: seed}
 	switch replace {
 	case "none", "":
@@ -151,4 +195,10 @@ func buildSource(bench, replace string, cores int, scale float64, seed int64) (r
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rmwsim:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a bad flag value and exits with the usage status.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "rmwsim:", err)
+	os.Exit(2)
 }

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/workload"
 )
 
@@ -56,6 +57,17 @@ type Options struct {
 	// the candidate-count heuristic: GOMAXPROCS for IRIW-class programs,
 	// 1 for small ones. The verdicts are identical at any setting.
 	EnumWorkers int
+	// Cache, when non-nil, is consulted before every simulator run and
+	// stores the result of every fresh one: a run is a pure function of
+	// (config, trace, seed, scale, RMW type), so hits replay the stored
+	// sim.Result instead of simulating. Cached and fresh runs produce
+	// identical tables.
+	Cache *simcache.Cache
+	// CacheDir, when Cache is nil and CacheDir is non-empty, enables
+	// caching through a disk-backed cache rooted at this directory
+	// (opened per harness call; the disk tier is what persists across
+	// calls and processes).
+	CacheDir string
 }
 
 // DefaultOptions reproduce the paper's setup (32 cores, full workloads).
@@ -75,7 +87,11 @@ func (o Options) BaseConfig() sim.Config {
 	return o.baseConfig()
 }
 
-// baseConfig returns the architectural configuration for the options.
+// baseConfig returns the architectural configuration for the options. A
+// user-supplied Config with an unset (zero) RMW type is normalized to the
+// default type before anything digests or validates it — the harness
+// overrides the type per run anyway, and an unnormalized zero would make
+// cache keys for invalid configurations collide.
 func (o Options) baseConfig() sim.Config {
 	var cfg sim.Config
 	if o.Config != nil {
@@ -86,7 +102,44 @@ func (o Options) baseConfig() sim.Config {
 	if o.Cores > 0 {
 		cfg = cfg.WithCores(o.Cores)
 	}
+	if cfg.RMWType == 0 {
+		cfg.RMWType = sim.DefaultConfig().RMWType
+	}
 	return cfg
+}
+
+// Validate rejects option values that would otherwise flow as garbage
+// into the workload generator, the candidate-enumeration heuristic, or —
+// worst — into cache key digests: negative core counts, scale factors and
+// worker counts, and an effective architectural configuration that fails
+// sim.Config.Validate. Zero values stay legal (they mean "use the
+// default"). Every harness entry point calls this before running.
+func (o Options) Validate() error {
+	switch {
+	case o.Cores < 0:
+		return fmt.Errorf("experiments: negative core count %d", o.Cores)
+	case o.Scale < 0:
+		return fmt.Errorf("experiments: negative workload scale %g", o.Scale)
+	case o.EnumWorkers < 0:
+		return fmt.Errorf("experiments: negative enumeration worker count %d", o.EnumWorkers)
+	}
+	if err := o.baseConfig().Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ResultCache resolves the options' cache: Options.Cache when set, a
+// fresh disk-backed cache when only CacheDir is set, nil (caching
+// disabled) otherwise.
+func (o Options) ResultCache() (*simcache.Cache, error) {
+	if o.Cache != nil {
+		return o.Cache, nil
+	}
+	if o.CacheDir == "" {
+		return nil, nil
+	}
+	return simcache.Open(simcache.WithDir(o.CacheDir))
 }
 
 // ScaledProfile returns a copy of the profile with its iteration count
@@ -124,20 +177,52 @@ func (b *BenchmarkRun) Result(t core.AtomicityType) *sim.Result { return b.ByTyp
 // runBenchmark simulates one profile (with optional replacement variant)
 // under the given RMW types. By default each run pulls its trace lazily
 // from the generator (bounded memory); with Options.Materialize the trace
-// is built once up front and shared read-only across the types.
-func runBenchmark(o Options, p workload.Profile, variant workload.Replacement, types []core.AtomicityType) (*BenchmarkRun, error) {
-	gen := workload.Generator{Cores: o.Cores, Seed: o.Seed, Replacement: variant}
+// is built once up front and shared read-only across the types. When a
+// cache is given, each (config, trace, seed, scale, type) run is looked
+// up first and stored after; hits skip the simulation entirely.
+func runBenchmark(o Options, cache *simcache.Cache, p workload.Profile, variant workload.Replacement, types []core.AtomicityType) (*BenchmarkRun, error) {
+	base := o.baseConfig()
+	// The generator's core count comes from the effective configuration,
+	// not the raw Cores option, so a core count supplied only through
+	// Options.Config drives the workload and the simulated machine
+	// identically instead of generating a trace for zero cores.
+	gen := workload.Generator{Cores: base.Cores, Seed: o.Seed, Replacement: variant}
 	src, err := gen.Source(o.scaled(p))
 	if err != nil {
 		return nil, err
 	}
+	// Validate before digesting: an invalid configuration must never mint
+	// a cache key (keys of distinct invalid configs could alias). Keys
+	// always derive from the raw workload source — never the materialized
+	// adapter — so streamed and materialized runs share entries.
+	keys := make([]simcache.Key, len(types))
+	for i, t := range types {
+		cfg := base.WithRMWType(t)
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		keys[i] = simcache.SimKey(cfg, src, o.Seed, o.Scale)
+	}
 	var trace sim.TraceSource = src
-	if o.Materialize {
+	if o.Materialize && !allCached(cache, keys) {
 		trace = sim.Materialize(src).Source()
 	}
 	run := &BenchmarkRun{Profile: p, Variant: variant, Name: src.Name(), ByType: map[core.AtomicityType]*sim.Result{}}
-	for _, t := range types {
-		s, err := sim.New(o.baseConfig().WithRMWType(t))
+	for i, t := range types {
+		cfg := base.WithRMWType(t)
+		key := keys[i]
+		if cache != nil {
+			if res, ok := cache.GetSim(key); ok {
+				// A cached deadlocked result must fail exactly like a
+				// fresh one, or warm and cold runs would diverge.
+				if res.Deadlocked {
+					return nil, fmt.Errorf("experiments: %s under %s deadlocked", src.Name(), t)
+				}
+				run.ByType[t] = res
+				continue
+			}
+		}
+		s, err := sim.New(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -147,6 +232,11 @@ func runBenchmark(o Options, p workload.Profile, variant workload.Replacement, t
 		}
 		if res.Deadlocked {
 			return nil, fmt.Errorf("experiments: %s under %s deadlocked", src.Name(), t)
+		}
+		if cache != nil {
+			// Best-effort persistence: a read-only cache directory
+			// degrades to misses, never fails the run.
+			_ = cache.PutSim(key, res)
 		}
 		run.ByType[t] = res
 	}
@@ -185,11 +275,36 @@ func Cpp11Specs() []BenchmarkSpec {
 	}
 }
 
-// runSpecs simulates each spec sequentially.
+// allCached reports whether the cache holds an entry for every key, so a
+// warm Materialize run can skip generating traces it will never replay.
+// Has does not verify entries; a corrupt one simply turns the later Get
+// into a miss, and the run then streams from the lazy source — which is
+// byte-identical to the materialized path.
+func allCached(cache *simcache.Cache, keys []simcache.Key) bool {
+	if cache == nil {
+		return false
+	}
+	for _, k := range keys {
+		if !cache.Has(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// runSpecs simulates each spec sequentially, sharing one result cache
+// (when the options configure one) across all runs.
 func runSpecs(o Options, specs []BenchmarkSpec) ([]*BenchmarkRun, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	cache, err := o.ResultCache()
+	if err != nil {
+		return nil, err
+	}
 	var out []*BenchmarkRun
 	for _, s := range specs {
-		run, err := runBenchmark(o, s.Profile, s.Variant, s.Types)
+		run, err := runBenchmark(o, cache, s.Profile, s.Variant, s.Types)
 		if err != nil {
 			return nil, err
 		}

@@ -40,6 +40,9 @@ func RunTable1() ([]Table1Row, error) {
 // (0 picks the per-program candidate-count heuristic). The rows are
 // identical at any setting.
 func RunTable1Opts(o Options) ([]Table1Row, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	ctx := context.Background()
 	var rows []Table1Row
 	readRep := litmus.DekkerReadReplacement()
@@ -195,6 +198,9 @@ func RunTable4() ([]Table4Row, error) {
 // RunTable4Opts is RunTable4 honouring the options' EnumWorkers, like
 // RunTable1Opts.
 func RunTable4Opts(o Options) ([]Table4Row, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	ctx := context.Background()
 	var rows []Table4Row
 	p := cpp11.SCStoreBuffering()

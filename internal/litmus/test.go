@@ -187,6 +187,9 @@ type Result struct {
 	Candidates int
 	// Outcomes is the set of observable outcomes.
 	Outcomes *core.OutcomeSet
+	// CacheHit marks a verdict served from a result cache instead of
+	// enumerated; the verdict itself is identical either way.
+	CacheHit bool
 }
 
 // String renders the result as a one-line report entry.

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"repro/internal/core"
@@ -127,6 +129,39 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: config: zero cycle limit")
 	}
 	return nil
+}
+
+// Digest returns a stable content digest of the configuration: the
+// hex-encoded SHA-256 of an explicit name=value serialization of every
+// field. Two configurations have equal digests exactly when every
+// architectural parameter (including the RMW type) is equal, so the digest
+// can key caches of simulation results. Each field is written by name in a
+// fixed order, so the digest depends only on the values, never on the
+// struct layout; a new Config field must be added to this list (the
+// per-field sensitivity test in config_test.go fails loudly until it is).
+func (c Config) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "sim.Config/v1\n")
+	fmt.Fprintf(h, "Cores=%d\n", c.Cores)
+	fmt.Fprintf(h, "WriteBufferDepth=%d\n", c.WriteBufferDepth)
+	fmt.Fprintf(h, "L1SizeBytes=%d\n", c.L1SizeBytes)
+	fmt.Fprintf(h, "L1Assoc=%d\n", c.L1Assoc)
+	fmt.Fprintf(h, "L1LatencyCycles=%d\n", c.L1LatencyCycles)
+	fmt.Fprintf(h, "L2LatencyCycles=%d\n", c.L2LatencyCycles)
+	fmt.Fprintf(h, "MemLatencyCycles=%d\n", c.MemLatencyCycles)
+	fmt.Fprintf(h, "LineBytes=%d\n", c.LineBytes)
+	fmt.Fprintf(h, "LinkLatencyCycles=%d\n", c.LinkLatencyCycles)
+	fmt.Fprintf(h, "RouterLatencyCycles=%d\n", c.RouterLatencyCycles)
+	fmt.Fprintf(h, "RMWType=%d\n", int(c.RMWType))
+	fmt.Fprintf(h, "BloomFilterBits=%d\n", c.BloomFilterBits)
+	fmt.Fprintf(h, "BloomHashes=%d\n", c.BloomHashes)
+	fmt.Fprintf(h, "RMWResetThreshold=%d\n", c.RMWResetThreshold)
+	fmt.Fprintf(h, "DisableDeadlockAvoidance=%t\n", c.DisableDeadlockAvoidance)
+	fmt.Fprintf(h, "ParallelDrain=%t\n", c.ParallelDrain)
+	fmt.Fprintf(h, "MaxOutstandingDrains=%d\n", c.MaxOutstandingDrains)
+	fmt.Fprintf(h, "LockRetryCycles=%d\n", c.LockRetryCycles)
+	fmt.Fprintf(h, "MaxCycles=%d\n", c.MaxCycles)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // LineOf converts a byte address to a cache-line address.

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConfigDigestStable pins the digest of the paper's default
+// configurations. If this test fails without an intentional change to
+// Config's fields or their serialization, cache keys would silently
+// change between builds; if the change is intentional, bless the new
+// digests here AND bump simcache.SchemaVersion so stale entries die.
+func TestConfigDigestStable(t *testing.T) {
+	got := DefaultConfig().Digest()
+	const wantDefault = "96af290f99838f0ff80d8635f7282f4c32979f432cdc57beca191eebee436807"
+	if got != wantDefault {
+		t.Fatalf("DefaultConfig digest = %s, pinned %s (an intentional Config change must bless this and bump the cache schema version)", got, wantDefault)
+	}
+	const wantT3x8 = "e18b679ca9d0db625aeb90a005d2e8bebe627d210e6507ddc3a6f38c0991e352"
+	if got := DefaultConfig().WithRMWType(core.Type3).WithCores(8).Digest(); got != wantT3x8 {
+		t.Fatalf("type-3/8-core digest = %s, pinned %s", got, wantT3x8)
+	}
+}
+
+// TestConfigDigestCoversEveryField perturbs each Config field in turn via
+// reflection and asserts the digest changes. A field added to Config but
+// not to Digest leaves the digest unchanged under perturbation, so this
+// test breaks loudly on accidental omissions (and on silent field
+// reordering combined with positional serialization, since Digest writes
+// names).
+func TestConfigDigestCoversEveryField(t *testing.T) {
+	base := DefaultConfig()
+	baseDigest := base.Digest()
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		c := base
+		v := reflect.ValueOf(&c).Elem().Field(i)
+		switch v.Kind() {
+		case reflect.Int:
+			v.SetInt(v.Int() + 1)
+		case reflect.Uint64:
+			v.SetUint(v.Uint() + 1)
+		case reflect.Bool:
+			v.SetBool(!v.Bool())
+		default:
+			t.Fatalf("Config field %s has unhandled kind %s: extend Digest and this test", typ.Field(i).Name, v.Kind())
+		}
+		if c.Digest() == baseDigest {
+			t.Errorf("perturbing Config.%s did not change the digest: add it to Config.Digest", typ.Field(i).Name)
+		}
+	}
+}
+
+// TestConfigDigestIgnoresNothing double-checks the two digests most likely
+// to collide in practice: the same architecture under different RMW types.
+func TestConfigDigestIgnoresNothing(t *testing.T) {
+	seen := map[string]core.AtomicityType{}
+	for _, typ := range core.AllTypes() {
+		d := DefaultConfig().WithRMWType(typ).Digest()
+		if prev, ok := seen[d]; ok {
+			t.Fatalf("digest collision between %s and %s", prev, typ)
+		}
+		seen[d] = typ
+	}
+}

@@ -1,0 +1,501 @@
+// Package simcache is a two-tier, content-addressed result cache for the
+// pure computations of the reproduction — simulator runs and litmus
+// verdicts. Each run is a pure function of its inputs (architectural
+// configuration, workload identity, seed, scale, RMW type), so a result
+// can be keyed by a canonical digest of those inputs and replayed instead
+// of recomputed on repeated `cmd/experiments` invocations and CI reruns.
+//
+// The cache has an in-memory LRU tier (always on) and an optional on-disk
+// tier (one JSON file per entry under a cache directory, by default
+// ~/.cache/rmwtso). Entries are stored as a versioned envelope carrying
+// the full key and a payload checksum: any truncation, bit-flip or schema
+// drift is detected on read, counted, the file deleted, and the lookup
+// treated as a miss — never a panic, never a wrong table. Bumping
+// SchemaVersion changes every key digest, so stale entries from older
+// layouts are simply never matched again.
+package simcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SchemaVersion versions the key derivation and the on-disk entry layout.
+// It participates in every key's canonical string, so bumping it (which a
+// change to sim.Config.Digest, sim.Result's serialized shape, or the
+// envelope layout requires) orphans all previously written entries
+// instead of misinterpreting them.
+const SchemaVersion = 1
+
+// Entry kinds. The kind participates in the key digest, so payloads of
+// different types can never alias.
+const (
+	// KindSimResult marks a cached sim.Result of one simulator run.
+	KindSimResult = "sim-result"
+	// KindLitmusVerdict marks a cached model-checking verdict of one
+	// (litmus test, atomicity type) pair.
+	KindLitmusVerdict = "litmus-verdict"
+)
+
+// DefaultCapacity bounds the in-memory tier when WithCapacity is not given.
+const DefaultCapacity = 512
+
+// Key identifies one cached result by the inputs that determine it.
+// Every field participates in the canonical digest; the zero value of an
+// unused field (e.g. Seed for litmus verdicts) is simply part of the key.
+type Key struct {
+	// Kind is the entry kind (KindSimResult, KindLitmusVerdict).
+	Kind string
+	// ConfigDigest is sim.Config.Digest() for simulator runs, or the
+	// digest of the canonical litmus rendering for verdicts.
+	ConfigDigest string
+	// Trace names the workload trace (including any replacement-variant
+	// suffix) or the litmus test.
+	Trace string
+	// Workload is the content digest of the workload behind the trace
+	// name (workload.Source.WorkloadDigest: profile parameters plus
+	// replacement variant), so a modified profile that kept a
+	// benchmark's name can never alias the stock benchmark's entries.
+	// Empty for sources without a workload identity (hand-built traces,
+	// whose content is determined by name and cores) and for litmus
+	// verdicts.
+	Workload string
+	// Cores is the simulated core count (redundant with ConfigDigest for
+	// simulator runs, kept for human-readable entries).
+	Cores int
+	// Seed is the workload generation seed.
+	Seed int64
+	// Scale is the normalized iteration-count scale factor.
+	Scale float64
+	// RMWType is the RMW atomicity type of the run.
+	RMWType core.AtomicityType
+}
+
+// Canonical returns the canonical serialization of the key, the exact
+// string whose SHA-256 is the entry's address. The schema version is part
+// of the string, so a version bump re-keys everything.
+func (k Key) Canonical() string {
+	return fmt.Sprintf("simcache/v%d|kind=%s|cfg=%s|trace=%s|wl=%s|cores=%d|seed=%d|scale=%s|rmw=%d",
+		SchemaVersion, k.Kind, k.ConfigDigest, k.Trace, k.Workload, k.Cores, k.Seed,
+		strconv.FormatFloat(k.Scale, 'g', -1, 64), int(k.RMWType))
+}
+
+// Digest returns the hex-encoded SHA-256 of the canonical key string; it
+// is the in-memory map key and the on-disk file name.
+func (k Key) Digest() string {
+	sum := sha256.Sum256([]byte(k.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// workloadIdentifier is implemented by trace sources (workload.Source)
+// that can digest their generator parameters; sources without it are
+// keyed by name alone.
+type workloadIdentifier interface {
+	WorkloadDigest() string
+}
+
+// SimKey derives the key of one simulator run from the run's effective
+// configuration (with the RMW type already set), the trace source, and
+// the workload seed and scale. The source contributes its name and —
+// when it can identify its content (workload.Source) — a digest of the
+// generator parameters, so renamed or hand-tuned profiles never alias.
+// A non-positive scale is normalized to 1: the generator applies no
+// scaling in either case, so both spellings must address the same entry.
+func SimKey(cfg sim.Config, src sim.TraceSource, seed int64, scale float64) Key {
+	if scale <= 0 {
+		scale = 1
+	}
+	k := Key{
+		Kind:         KindSimResult,
+		ConfigDigest: cfg.Digest(),
+		Trace:        src.Name(),
+		Cores:        cfg.Cores,
+		Seed:         seed,
+		Scale:        scale,
+		RMWType:      cfg.RMWType,
+	}
+	if wi, ok := src.(workloadIdentifier); ok {
+		k.Workload = wi.WorkloadDigest()
+	}
+	return k
+}
+
+// Stats count the cache's traffic. All counters are cumulative over the
+// cache's lifetime (Clear does not reset them).
+type Stats struct {
+	// MemoryHits and DiskHits split the hits by serving tier.
+	MemoryHits uint64
+	DiskHits   uint64
+	// Misses counts lookups served by neither tier (including entries
+	// dropped as corrupt).
+	Misses uint64
+	// Stores counts successful Put calls; StoreErrors counts Put calls
+	// whose disk write failed (the memory tier still holds them).
+	Stores      uint64
+	StoreErrors uint64
+	// Corrupt counts disk entries rejected by the envelope checks
+	// (unparsable JSON, schema-version or key mismatch, payload checksum
+	// mismatch); each is deleted and counted as a miss.
+	Corrupt uint64
+	// Evictions counts memory-tier entries displaced by the LRU bound.
+	Evictions uint64
+}
+
+// Hits returns the total hits across both tiers.
+func (s Stats) Hits() uint64 { return s.MemoryHits + s.DiskHits }
+
+// String renders the counters as a one-line summary. Store errors are
+// appended only when any occurred — they are the one counter that
+// explains a cache that never warms (e.g. a read-only cache directory).
+func (s Stats) String() string {
+	out := fmt.Sprintf("%d hits (%d memory, %d disk), %d misses, %d stored, %d corrupt",
+		s.Hits(), s.MemoryHits, s.DiskHits, s.Misses, s.Stores, s.Corrupt)
+	if s.StoreErrors > 0 {
+		out += fmt.Sprintf(", %d store errors (cache directory not writable?)", s.StoreErrors)
+	}
+	return out
+}
+
+// entry is the versioned on-disk (and in-memory) envelope of one cached
+// payload. The embedded key lets a read verify it is holding the entry it
+// addressed; the payload checksum turns any bit-level damage into a
+// detectable miss instead of a wrong result.
+type entry struct {
+	SchemaVersion int             `json:"schema_version"`
+	Key           Key             `json:"key"`
+	PayloadSum    string          `json:"payload_sum"`
+	Payload       json.RawMessage `json:"payload"`
+}
+
+// decodeEntry parses and verifies an encoded envelope against the key
+// that addressed it, returning the payload bytes.
+func decodeEntry(data []byte, k Key) (json.RawMessage, error) {
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("simcache: unparsable entry: %w", err)
+	}
+	if e.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("simcache: entry schema version %d, want %d", e.SchemaVersion, SchemaVersion)
+	}
+	if e.Key != k {
+		return nil, fmt.Errorf("simcache: entry key mismatch (corrupt or colliding entry)")
+	}
+	sum := sha256.Sum256(e.Payload)
+	if hex.EncodeToString(sum[:]) != e.PayloadSum {
+		return nil, fmt.Errorf("simcache: payload checksum mismatch")
+	}
+	return e.Payload, nil
+}
+
+// encodeEntry builds the encoded envelope for a payload.
+func encodeEntry(k Key, payload any) ([]byte, error) {
+	pb, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("simcache: marshaling payload: %w", err)
+	}
+	sum := sha256.Sum256(pb)
+	return json.Marshal(entry{
+		SchemaVersion: SchemaVersion,
+		Key:           k,
+		PayloadSum:    hex.EncodeToString(sum[:]),
+		Payload:       pb,
+	})
+}
+
+// memEntry is one element of the LRU list.
+type memEntry struct {
+	digest string
+	data   []byte
+}
+
+// Cache is the two-tier result cache. It is safe for concurrent use; the
+// worker pools of pkg/rmwtso share one Cache across all units.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	dir   string
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // digest -> element
+	stats Stats
+}
+
+// Option configures Open.
+type Option func(*Cache)
+
+// WithDir enables the on-disk tier rooted at dir (one JSON file per
+// entry). The empty string keeps the cache memory-only.
+func WithDir(dir string) Option { return func(c *Cache) { c.dir = dir } }
+
+// WithCapacity bounds the in-memory tier to n entries (LRU eviction);
+// n <= 0 removes the bound. The default is DefaultCapacity.
+func WithCapacity(n int) Option {
+	return func(c *Cache) {
+		if n < 0 {
+			n = 0
+		}
+		c.cap = n
+	}
+}
+
+// DefaultDir returns the default on-disk location: the "rmwtso"
+// subdirectory of the user cache directory (~/.cache/rmwtso on Linux).
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("simcache: resolving the user cache directory: %w", err)
+	}
+	return filepath.Join(base, "rmwtso"), nil
+}
+
+// Open builds a cache from the options, creating the cache directory when
+// a disk tier is configured. A memory-only Open never fails.
+func Open(opts ...Option) (*Cache, error) {
+	c := &Cache{cap: DefaultCapacity, ll: list.New(), items: map[string]*list.Element{}}
+	for _, f := range opts {
+		f(c)
+	}
+	if c.dir != "" {
+		if err := os.MkdirAll(c.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("simcache: creating cache directory: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// Dir returns the disk-tier directory ("" when memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// Len returns the number of entries in the memory tier.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// path returns the disk-tier file of a key digest.
+func (c *Cache) path(digest string) string {
+	return filepath.Join(c.dir, digest+".json")
+}
+
+// insertLocked puts encoded entry bytes into the memory tier under the
+// digest, evicting from the LRU tail past the capacity bound.
+func (c *Cache) insertLocked(digest string, data []byte) {
+	if el, ok := c.items[digest]; ok {
+		el.Value.(*memEntry).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[digest] = c.ll.PushFront(&memEntry{digest: digest, data: data})
+	for c.cap > 0 && c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*memEntry).digest)
+		c.stats.Evictions++
+	}
+}
+
+// Get looks the key up in the memory tier, then the disk tier, and
+// unmarshals the payload into out on a hit. Disk hits are promoted into
+// the memory tier. Corrupt disk entries (truncated, bit-flipped, stale
+// schema) are deleted and reported as misses.
+func (c *Cache) Get(k Key, out any) bool {
+	digest := k.Digest()
+
+	// Grab the entry bytes under the lock but verify and decode outside
+	// it: entry slices are immutable once stored (Put replaces them
+	// wholesale), and decoding — a checksum plus two JSON passes over a
+	// potentially large payload — would otherwise serialize a warm
+	// worker pool on the cache mutex.
+	c.mu.Lock()
+	var data []byte
+	if el, ok := c.items[digest]; ok {
+		data = el.Value.(*memEntry).data
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if data != nil {
+		payload, err := decodeEntry(data, k)
+		if err == nil {
+			err = json.Unmarshal(payload, out)
+		}
+		c.mu.Lock()
+		if err == nil {
+			c.stats.MemoryHits++
+			c.mu.Unlock()
+			return true
+		}
+		// A memory entry only fails decoding if the payload type changed
+		// underneath us; drop it and fall through to the disk tier.
+		if el, ok := c.items[digest]; ok {
+			c.ll.Remove(el)
+			delete(c.items, digest)
+		}
+		c.mu.Unlock()
+	}
+
+	if c.dir == "" {
+		c.countMiss()
+		return false
+	}
+	path := c.path(digest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.countMiss()
+		return false
+	}
+	payload, err := decodeEntry(data, k)
+	if err == nil {
+		err = json.Unmarshal(payload, out)
+	}
+	if err != nil {
+		// Treat damage as a miss and remove the entry so the next run
+		// rewrites it; never surface a partially decoded result.
+		os.Remove(path)
+		c.mu.Lock()
+		c.stats.Corrupt++
+		c.stats.Misses++
+		c.mu.Unlock()
+		return false
+	}
+	c.mu.Lock()
+	c.insertLocked(digest, data)
+	c.stats.DiskHits++
+	c.mu.Unlock()
+	return true
+}
+
+// Has reports whether either tier holds an entry addressed by the key,
+// without decoding, verifying or promoting it (and without touching the
+// hit/miss counters). Callers use it to skip work that only pays off on
+// a miss — e.g. materializing a trace — accepting that a corrupt entry
+// may still turn the eventual Get into a miss.
+func (c *Cache) Has(k Key) bool {
+	digest := k.Digest()
+	c.mu.Lock()
+	_, ok := c.items[digest]
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	if c.dir == "" {
+		return false
+	}
+	_, err := os.Stat(c.path(digest))
+	return err == nil
+}
+
+// countMiss bumps the miss counter.
+func (c *Cache) countMiss() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+}
+
+// Put stores the payload under the key in the memory tier and, when a
+// disk tier is configured, atomically (write-temp-then-rename) on disk.
+// A disk write failure leaves the memory entry in place and is returned
+// (and counted) so callers can treat persistence as best-effort.
+func (c *Cache) Put(k Key, payload any) error {
+	data, err := encodeEntry(k, payload)
+	if err != nil {
+		return err
+	}
+	digest := k.Digest()
+	c.mu.Lock()
+	c.insertLocked(digest, data)
+	c.stats.Stores++
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return nil
+	}
+	if err := c.writeFile(digest, data); err != nil {
+		c.mu.Lock()
+		c.stats.StoreErrors++
+		c.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// writeFile writes entry bytes to the disk tier atomically, so concurrent
+// readers only ever observe complete entries.
+func (c *Cache) writeFile(digest string, data []byte) error {
+	tmp, err := os.CreateTemp(c.dir, ".tmp-"+digest+"-*")
+	if err != nil {
+		return fmt.Errorf("simcache: creating temp entry: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: writing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: closing entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(digest)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: publishing entry: %w", err)
+	}
+	return nil
+}
+
+// Clear empties the memory tier and deletes every entry file of the disk
+// tier (stats are preserved; they count cumulative traffic).
+func (c *Cache) Clear() error {
+	c.mu.Lock()
+	c.ll.Init()
+	c.items = map[string]*list.Element{}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	// Entry files, plus any temp files orphaned by interrupted writes.
+	for _, pattern := range []string{"*.json", ".tmp-*"} {
+		matches, err := filepath.Glob(filepath.Join(c.dir, pattern))
+		if err != nil {
+			return fmt.Errorf("simcache: listing cache entries: %w", err)
+		}
+		for _, m := range matches {
+			if err := os.Remove(m); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("simcache: clearing cache: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// GetSim looks up one simulator result.
+func (c *Cache) GetSim(k Key) (*sim.Result, bool) {
+	var r sim.Result
+	if !c.Get(k, &r) {
+		return nil, false
+	}
+	return &r, true
+}
+
+// PutSim stores one simulator result.
+func (c *Cache) PutSim(k Key, r *sim.Result) error {
+	return c.Put(k, r)
+}

@@ -1,0 +1,376 @@
+package simcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fakeResult builds a representative sim.Result exercising every field of
+// the serialized shape (nested slices, flags, counters).
+func fakeResult(trace string, typ core.AtomicityType) *sim.Result {
+	return &sim.Result{
+		Workload: trace,
+		RMWType:  typ,
+		Cycles:   123456,
+		PerCore: []sim.CoreStats{
+			{Core: 0, Cycles: 123456, Reads: 10, Writes: 5, RMWs: 3, Fences: 1, Computes: 7,
+				RMWWriteBufferCycles: 40, RMWRaWaCycles: 60, RMWReverts: 1, RMWBroadcasts: 2,
+				ReadStallCycles: 11, WriteStallCycles: 13},
+			{Core: 1, Cycles: 120000, Reads: 9, Writes: 4, RMWs: 2},
+		},
+		RMWCosts: []sim.RMWCost{
+			{WriteBuffer: 30, RaWa: 20, Reverted: true, Broadcast: false},
+			{WriteBuffer: 0, RaWa: 25, Broadcast: true},
+		},
+		Broadcasts:           2,
+		UniqueRMWs:           2,
+		DirectoryLockDenials: 4,
+	}
+}
+
+// fakeSource is a minimal sim.TraceSource for key derivation in tests.
+type fakeSource struct {
+	name  string
+	cores int
+}
+
+func (f fakeSource) Name() string              { return f.name }
+func (f fakeSource) Cores() int                { return f.cores }
+func (f fakeSource) Stream(c int) sim.OpStream { return nil }
+
+func testKey(trace string, typ core.AtomicityType) Key {
+	return SimKey(sim.DefaultConfig().WithCores(8).WithRMWType(typ), fakeSource{trace, 8}, 20130601, 0.25)
+}
+
+func mustOpen(t *testing.T, opts ...Option) *Cache {
+	t.Helper()
+	c, err := Open(opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return c
+}
+
+// entryFile returns the single on-disk entry of a one-entry cache dir.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected exactly one entry file, got %v (err %v)", matches, err)
+	}
+	return matches[0]
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	c := mustOpen(t)
+	k := testKey("bayes", core.Type2)
+	want := fakeResult("bayes", core.Type2)
+	if err := c.PutSim(k, want); err != nil {
+		t.Fatalf("PutSim: %v", err)
+	}
+	got, ok := c.GetSim(k)
+	if !ok {
+		t.Fatalf("GetSim missed a just-stored key")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-tripped result differs:\ngot  %+v\nwant %+v", got, want)
+	}
+	// The cached copy must be isolated from the caller's value.
+	if got == want {
+		t.Fatalf("GetSim returned the stored pointer, not a decoded copy")
+	}
+	st := c.Stats()
+	if st.MemoryHits != 1 || st.Misses != 0 || st.Stores != 1 {
+		t.Fatalf("stats = %+v, want 1 memory hit / 0 misses / 1 store", st)
+	}
+	if _, ok := c.GetSim(testKey("bayes", core.Type3)); ok {
+		t.Fatalf("GetSim hit on a different RMW type")
+	}
+	if c.Stats().Misses != 1 {
+		t.Fatalf("miss not counted: %+v", c.Stats())
+	}
+}
+
+// TestKeyDigestPinned pins the canonical string and digest of a known key
+// so an accidental Key/Config field reordering (or a silent canonical
+// format change) breaks loudly; an intentional change must bless these
+// values and bump SchemaVersion.
+func TestKeyDigestPinned(t *testing.T) {
+	src := fakeSource{"radiosity", 32}
+	k := SimKey(sim.DefaultConfig().WithRMWType(core.Type2), src, 20130601, 1)
+	wantCanonical := "simcache/v1|kind=sim-result|cfg=585c16977312da197d4bc0588d44de9a5035230ee85f689813b960bcd036db1f|trace=radiosity|wl=|cores=32|seed=20130601|scale=1|rmw=2"
+	if got := k.Canonical(); got != wantCanonical {
+		t.Fatalf("canonical key changed:\ngot  %s\nwant %s\n(bless this and bump SchemaVersion if intentional)", got, wantCanonical)
+	}
+	wantDigest := "c96533331626aa60d9ba350068eeb122bacf4f3db35b5c6c6cbc106f235fa97f"
+	if got := k.Digest(); got != wantDigest {
+		t.Fatalf("key digest changed:\ngot  %s\nwant %s", got, wantDigest)
+	}
+	// Scale 0 must normalize to the scale-1 key.
+	if got := SimKey(sim.DefaultConfig().WithRMWType(core.Type2), src, 20130601, 0).Digest(); got != wantDigest {
+		t.Fatalf("unset scale did not normalize to scale 1")
+	}
+}
+
+// TestSimKeyUsesWorkloadIdentity pins that a source able to identify its
+// content (workload.Source) contributes a workload digest to the key, so
+// a tweaked profile under a stock name cannot alias.
+func TestSimKeyUsesWorkloadIdentity(t *testing.T) {
+	cfg := sim.DefaultConfig().WithCores(4).WithRMWType(core.Type1)
+	p, err := workload.FindProfile("radiosity")
+	if err != nil {
+		t.Fatalf("FindProfile: %v", err)
+	}
+	gen := workload.Generator{Cores: 4, Seed: 1}
+	stock, err := gen.Source(p)
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	tweakedProfile := p
+	tweakedProfile.CriticalSectionOps++
+	tweaked, err := gen.Source(tweakedProfile)
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	stockKey := SimKey(cfg, stock, 1, 1)
+	if stockKey.Workload == "" {
+		t.Fatalf("workload.Source contributed no workload digest")
+	}
+	if SimKey(cfg, tweaked, 1, 1) == stockKey {
+		t.Fatalf("tweaked profile aliases the stock profile's cache key")
+	}
+	// Sources without a workload identity still key on their name.
+	if SimKey(cfg, fakeSource{"radiosity", 4}, 1, 1).Workload != "" {
+		t.Fatalf("plain source unexpectedly has a workload digest")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustOpen(t, WithCapacity(2))
+	keys := []Key{testKey("a", core.Type1), testKey("b", core.Type1), testKey("c", core.Type1)}
+	for _, k := range keys {
+		if err := c.PutSim(k, fakeResult(k.Trace, core.Type1)); err != nil {
+			t.Fatalf("PutSim: %v", err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.GetSim(keys[0]); ok {
+		t.Fatalf("oldest entry survived past the capacity bound")
+	}
+	if _, ok := c.GetSim(keys[1]); !ok {
+		t.Fatalf("recent entry evicted")
+	}
+	// Touch "b" so "c" becomes the LRU victim of the next insert.
+	if err := c.PutSim(testKey("d", core.Type1), fakeResult("d", core.Type1)); err != nil {
+		t.Fatalf("PutSim: %v", err)
+	}
+	if _, ok := c.GetSim(keys[2]); ok {
+		t.Fatalf("LRU order not respected: untouched entry survived")
+	}
+	if st := c.Stats(); st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+}
+
+func TestDiskWarm(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey("genome", core.Type3)
+	want := fakeResult("genome", core.Type3)
+
+	c1 := mustOpen(t, WithDir(dir))
+	if err := c1.PutSim(k, want); err != nil {
+		t.Fatalf("PutSim: %v", err)
+	}
+
+	// A fresh cache over the same directory (a "new process") must serve
+	// the entry from disk, then promote it to memory.
+	c2 := mustOpen(t, WithDir(dir))
+	got, ok := c2.GetSim(k)
+	if !ok {
+		t.Fatalf("disk-warm GetSim missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk round-trip differs:\ngot  %+v\nwant %+v", got, want)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 1 disk hit", st)
+	}
+	if _, ok := c2.GetSim(k); !ok {
+		t.Fatalf("promoted entry missed")
+	}
+	if st := c2.Stats(); st.MemoryHits != 1 {
+		t.Fatalf("stats = %+v, want promotion to memory", st)
+	}
+}
+
+// TestCorruptionBitFlip flips one bit at every byte position of an on-disk
+// entry and asserts each read either misses cleanly (deleting the damaged
+// file) or — when the flip lands in insignificant whitespace — returns the
+// exact original result. No flip may panic or return a different result.
+func TestCorruptionBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey("raytrace", core.Type2)
+	want := fakeResult("raytrace", core.Type2)
+	c := mustOpen(t, WithDir(dir))
+	if err := c.PutSim(k, want); err != nil {
+		t.Fatalf("PutSim: %v", err)
+	}
+	path := entryFile(t, dir)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading entry: %v", err)
+	}
+
+	for i := range orig {
+		damaged := append([]byte(nil), orig...)
+		damaged[i] ^= 0x01
+		if err := os.WriteFile(path, damaged, 0o644); err != nil {
+			t.Fatalf("writing damaged entry: %v", err)
+		}
+		// Fresh cache per flip so the memory tier cannot mask the disk read.
+		fresh := mustOpen(t, WithDir(dir))
+		got, ok := fresh.GetSim(k)
+		if ok {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("bit flip at byte %d returned a WRONG result: %+v", i, got)
+			}
+		} else {
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("bit flip at byte %d: damaged entry not deleted (stat err %v)", i, err)
+			}
+			if st := fresh.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+				t.Fatalf("bit flip at byte %d: stats %+v, want 1 corrupt + 1 miss", i, st)
+			}
+		}
+		// Restore for the next position.
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatalf("restoring entry: %v", err)
+		}
+	}
+}
+
+func TestTruncatedEntry(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey("dedup", core.Type1)
+	c := mustOpen(t, WithDir(dir))
+	if err := c.PutSim(k, fakeResult("dedup", core.Type1)); err != nil {
+		t.Fatalf("PutSim: %v", err)
+	}
+	path := entryFile(t, dir)
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("truncating: %v", err)
+	}
+	fresh := mustOpen(t, WithDir(dir))
+	if _, ok := fresh.GetSim(k); ok {
+		t.Fatalf("truncated entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("truncated entry not deleted")
+	}
+}
+
+func TestGarbageEntry(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey("fluidanimate", core.Type1)
+	c := mustOpen(t, WithDir(dir))
+	if err := c.PutSim(k, fakeResult("fluidanimate", core.Type1)); err != nil {
+		t.Fatalf("PutSim: %v", err)
+	}
+	path := entryFile(t, dir)
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatalf("writing garbage: %v", err)
+	}
+	fresh := mustOpen(t, WithDir(dir))
+	if _, ok := fresh.GetSim(k); ok {
+		t.Fatalf("garbage entry served as a hit")
+	}
+	if st := fresh.Stats(); st.Corrupt != 1 {
+		t.Fatalf("garbage not counted corrupt: %+v", st)
+	}
+}
+
+// TestSchemaVersionMismatch rewrites a valid entry claiming a different
+// schema version; it must be dropped as corrupt, not misinterpreted.
+func TestSchemaVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey("wsq-mst", core.Type2)
+	c := mustOpen(t, WithDir(dir))
+	if err := c.PutSim(k, fakeResult("wsq-mst", core.Type2)); err != nil {
+		t.Fatalf("PutSim: %v", err)
+	}
+	path := entryFile(t, dir)
+	data, _ := os.ReadFile(path)
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("decoding entry: %v", err)
+	}
+	raw["schema_version"] = json.RawMessage("999")
+	redone, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatalf("re-encoding: %v", err)
+	}
+	if err := os.WriteFile(path, redone, 0o644); err != nil {
+		t.Fatalf("rewriting: %v", err)
+	}
+	fresh := mustOpen(t, WithDir(dir))
+	if _, ok := fresh.GetSim(k); ok {
+		t.Fatalf("stale-schema entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("stale-schema entry not deleted")
+	}
+}
+
+func TestClear(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, WithDir(dir))
+	k := testKey("bayes", core.Type1)
+	if err := c.PutSim(k, fakeResult("bayes", core.Type1)); err != nil {
+		t.Fatalf("PutSim: %v", err)
+	}
+	if err := c.Clear(); err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("memory tier not cleared")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(matches) != 0 {
+		t.Fatalf("disk tier not cleared: %v", matches)
+	}
+	if _, ok := c.GetSim(k); ok {
+		t.Fatalf("cleared entry still served")
+	}
+}
+
+// TestGenericPayload exercises the untyped Get/Put used for litmus
+// verdicts.
+func TestGenericPayload(t *testing.T) {
+	type verdict struct {
+		Holds    bool     `json:"holds"`
+		Outcomes []string `json:"outcomes"`
+	}
+	c := mustOpen(t)
+	k := Key{Kind: KindLitmusVerdict, ConfigDigest: "abc", Trace: "SB", RMWType: core.Type1}
+	want := verdict{Holds: true, Outcomes: []string{"P0:r0=0 P1:r0=0"}}
+	if err := c.Put(k, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	var got verdict
+	if !c.Get(k, &got) {
+		t.Fatalf("Get missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("generic round-trip differs: %+v vs %+v", got, want)
+	}
+}

@@ -11,7 +11,12 @@
 // memory (bayes, genome). See DESIGN.md for the substitution argument.
 package workload
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
 
 // Pattern names the synchronization structure a profile uses.
 type Pattern int
@@ -111,6 +116,34 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload: profile %q: negative clock shard count", p.Name)
 	}
 	return nil
+}
+
+// Digest returns a stable content digest of the profile: the hex-encoded
+// SHA-256 of an explicit name=value serialization of every field. Result
+// caches fold it into their keys so two distinct profiles sharing a name
+// (for example a hand-tuned copy of a Table 3 benchmark) can never alias
+// to the same cached run. Each field is written by name in a fixed order;
+// a new Profile field must be added here (the per-field sensitivity test
+// in profile_test.go fails loudly until it is).
+func (p Profile) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "workload.Profile/v1\n")
+	fmt.Fprintf(h, "Name=%s\n", p.Name)
+	fmt.Fprintf(h, "Suite=%s\n", p.Suite)
+	fmt.Fprintf(h, "ProblemSize=%s\n", p.ProblemSize)
+	fmt.Fprintf(h, "Pattern=%d\n", int(p.Pattern))
+	fmt.Fprintf(h, "PaperRMWsPer1000=%s\n", strconv.FormatFloat(p.PaperRMWsPer1000, 'g', -1, 64))
+	fmt.Fprintf(h, "PaperUniquePct=%s\n", strconv.FormatFloat(p.PaperUniquePct, 'g', -1, 64))
+	fmt.Fprintf(h, "Iterations=%d\n", p.Iterations)
+	fmt.Fprintf(h, "CriticalSectionOps=%d\n", p.CriticalSectionOps)
+	fmt.Fprintf(h, "PrivateOpsPerEpisode=%d\n", p.PrivateOpsPerEpisode)
+	fmt.Fprintf(h, "ThinkCycles=%d\n", p.ThinkCycles)
+	fmt.Fprintf(h, "SharedLockLines=%d\n", p.SharedLockLines)
+	fmt.Fprintf(h, "SharedDataLines=%d\n", p.SharedDataLines)
+	fmt.Fprintf(h, "WriteFraction=%s\n", strconv.FormatFloat(p.WriteFraction, 'g', -1, 64))
+	fmt.Fprintf(h, "LockAffinity=%s\n", strconv.FormatFloat(p.LockAffinity, 'g', -1, 64))
+	fmt.Fprintf(h, "ClockLines=%d\n", p.ClockLines)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Table3Profiles returns the benchmark set of the paper's Table 3, in table

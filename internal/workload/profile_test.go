@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProfileDigestCoversEveryField perturbs each Profile field in turn
+// via reflection and asserts the digest changes, so a field added to
+// Profile but not to Digest breaks loudly instead of letting two
+// different workloads alias in a result cache.
+func TestProfileDigestCoversEveryField(t *testing.T) {
+	base := WSQProfile()
+	baseDigest := base.Digest()
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		p := base
+		v := reflect.ValueOf(&p).Elem().Field(i)
+		switch v.Kind() {
+		case reflect.String:
+			v.SetString(v.String() + "x")
+		case reflect.Int:
+			v.SetInt(v.Int() + 1)
+		case reflect.Uint64:
+			v.SetUint(v.Uint() + 1)
+		case reflect.Float64:
+			v.SetFloat(v.Float() + 0.125)
+		default:
+			t.Fatalf("Profile field %s has unhandled kind %s: extend Digest and this test", typ.Field(i).Name, v.Kind())
+		}
+		if p.Digest() == baseDigest {
+			t.Errorf("perturbing Profile.%s did not change the digest: add it to Profile.Digest", typ.Field(i).Name)
+		}
+	}
+}
+
+// TestWorkloadDigestDistinguishesVariants pins that the source-level
+// digest separates replacement variants and profile edits even though
+// cores and seed live in separate cache-key fields.
+func TestWorkloadDigestDistinguishesVariants(t *testing.T) {
+	p := WSQProfile()
+	gen := Generator{Cores: 4, Seed: 1}
+	plain, err := gen.Source(p)
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	gen.Replacement = ReadReplacement
+	rr, err := gen.Source(p)
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	if plain.WorkloadDigest() == rr.WorkloadDigest() {
+		t.Fatalf("replacement variant not reflected in the workload digest")
+	}
+	edited := p
+	edited.CriticalSectionOps++
+	gen.Replacement = NoReplacement
+	tweaked, err := gen.Source(edited)
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	if tweaked.WorkloadDigest() == plain.WorkloadDigest() {
+		t.Fatalf("edited profile kept the stock workload digest: cache entries would alias")
+	}
+}

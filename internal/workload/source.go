@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/sim"
@@ -51,6 +52,16 @@ func (g Generator) SourceByName(name string) (*Source, error) {
 
 // Name returns the trace name (profile name plus replacement suffix).
 func (s *Source) Name() string { return s.name }
+
+// WorkloadDigest identifies the generated workload's content beyond its
+// name: the digest of the profile's generator parameters plus the
+// replacement variant. Result caches fold it into their keys so a
+// hand-modified profile that kept a benchmark's name can never alias to
+// the stock benchmark's cached runs (cores and seed are separate key
+// fields already).
+func (s *Source) WorkloadDigest() string {
+	return fmt.Sprintf("%s|replace=%d", s.profile.Digest(), int(s.gen.Replacement))
+}
 
 // Cores returns the number of per-core streams.
 func (s *Source) Cores() int { return s.gen.Cores }

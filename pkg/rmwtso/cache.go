@@ -1,0 +1,232 @@
+package rmwtso
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/core"
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+	"repro/internal/simcache"
+)
+
+// Cache is the two-tier, content-addressed result cache: an in-memory LRU
+// in front of an optional on-disk tier (one versioned, checksummed JSON
+// file per entry). Simulator runs and litmus verdicts are pure functions
+// of their inputs, so a cache hit replays the stored result instead of
+// recomputing it — warm `cmd/experiments` reruns produce byte-identical
+// tables while executing zero simulator runs for cached keys. Corrupt or
+// stale disk entries are detected, deleted and treated as misses. A Cache
+// is safe for concurrent use by a Runner's worker pool.
+type Cache = simcache.Cache
+
+// CacheKey identifies one cached result by the inputs that determine it:
+// entry kind, configuration digest, trace or test name, cores, seed,
+// scale and RMW type, all folded into one canonical digest.
+type CacheKey = simcache.Key
+
+// CacheStats are a Cache's cumulative hit/miss/store/corruption counters.
+type CacheStats = simcache.Stats
+
+// CacheOption configures OpenCache.
+type CacheOption = simcache.Option
+
+// CacheSchemaVersion versions the cache key derivation and entry layout;
+// it participates in every key, so bumping it orphans older entries
+// rather than misinterpreting them.
+const CacheSchemaVersion = simcache.SchemaVersion
+
+// OpenCache builds a result cache. With no options the cache is
+// memory-only; add CacheDir (typically over DefaultCacheDir's location)
+// to persist entries across processes.
+func OpenCache(opts ...CacheOption) (*Cache, error) { return simcache.Open(opts...) }
+
+// CacheDir roots the cache's disk tier at dir (created if missing); the
+// empty string keeps the cache memory-only.
+func CacheDir(dir string) CacheOption { return simcache.WithDir(dir) }
+
+// CacheCapacity bounds the in-memory tier to n entries with LRU
+// eviction; n <= 0 removes the bound.
+func CacheCapacity(n int) CacheOption { return simcache.WithCapacity(n) }
+
+// DefaultCacheDir returns the conventional on-disk cache location
+// (~/.cache/rmwtso on Linux), the directory the binaries' -cache flag
+// uses when -cache-dir is not given.
+func DefaultCacheDir() (string, error) { return simcache.DefaultDir() }
+
+// OpenCacheFromFlags implements the caching flag contract shared by the
+// three binaries: -cache-dir and -cache-clear imply -cache, an empty dir
+// falls back to DefaultCacheDir, and clear empties the directory before
+// use. It returns a nil cache (and no error) when caching was not
+// requested, so callers can pass the flags through unconditionally.
+func OpenCacheFromFlags(enabled bool, dir string, clear bool) (*Cache, error) {
+	if !enabled && dir == "" && !clear {
+		return nil, nil
+	}
+	if dir == "" {
+		var err error
+		if dir, err = DefaultCacheDir(); err != nil {
+			return nil, err
+		}
+	}
+	c, err := OpenCache(CacheDir(dir))
+	if err != nil {
+		return nil, err
+	}
+	if clear {
+		if err := c.Clear(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// SimCacheKey derives the content-addressed key of one simulator run
+// from the run's effective configuration (RMW type already set), the
+// trace source, and the workload seed and scale (non-positive scale
+// normalizes to 1). Generator-built sources additionally contribute a
+// digest of their profile parameters, so a hand-tuned profile sharing a
+// benchmark's name never aliases the stock entries. Two runs with equal
+// keys produce identical results.
+func SimCacheKey(cfg SimConfig, src TraceSource, seed int64, scale float64) CacheKey {
+	return simcache.SimKey(cfg, src, seed, scale)
+}
+
+// LitmusCacheKey derives the key of one litmus verdict from the canonical
+// textual rendering of the test (program, condition and expectations) and
+// the atomicity type checked.
+func LitmusCacheKey(t *Test, typ AtomicityType) CacheKey {
+	sum := sha256.Sum256([]byte(litmus.Format(t)))
+	return CacheKey{
+		Kind:         simcache.KindLitmusVerdict,
+		ConfigDigest: hex.EncodeToString(sum[:]),
+		Trace:        t.Name,
+		RMWType:      typ,
+	}
+}
+
+// SimulateSourceCached is SimulateSource through a cache: on a hit the
+// stored result is returned (hit == true) without running the simulator;
+// on a miss the run executes and its result is stored best-effort. A nil
+// cache degrades to plain SimulateSource. The configuration is validated
+// before any key is digested. Deadlocked runs (the Fig. 10 demo) are
+// never stored and never served: they represent a failure mode the
+// experiment harness must keep rejecting identically on warm and cold
+// runs, so they always re-execute.
+func SimulateSourceCached(c *Cache, cfg SimConfig, src TraceSource, seed int64, scale float64) (*SimResult, bool, error) {
+	if c == nil {
+		res, err := SimulateSource(cfg, src)
+		return res, false, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, false, err
+	}
+	key := SimCacheKey(cfg, src, seed, scale)
+	if res, ok := c.GetSim(key); ok && !res.Deadlocked {
+		return res, true, nil
+	}
+	res, err := SimulateSource(cfg, src)
+	if err != nil {
+		return nil, false, err
+	}
+	if !res.Deadlocked {
+		_ = c.PutSim(key, res)
+	}
+	return res, false, nil
+}
+
+// cacheableTest reports whether the test's verdict may be cached: its
+// key digests the canonical litmus.Format rendering, which represents an
+// RMW's Modify function faithfully only for the built-in xadd
+// (Modify(v) = v+Value) and xchg (Modify(v) = Value) semantics. A test
+// whose RMW carries any other Modify function would alias the key of its
+// xchg-rendered twin, so such tests bypass the cache and always
+// enumerate. The probe samples several read values per RMW and accepts
+// only functions consistent with one of the two renderable semantics.
+func cacheableTest(t *Test) bool {
+	if t.Program == nil {
+		return false
+	}
+	for _, th := range t.Program.Threads {
+		for _, in := range th {
+			if in.Kind != memmodel.InstrRMW {
+				continue
+			}
+			if in.Modify == nil {
+				return false
+			}
+			addLike, setLike := true, true
+			for _, v := range []Value{0, 1, 7, -3, 100} {
+				got := in.Modify(v)
+				if got != v+in.Value {
+					addLike = false
+				}
+				if got != in.Value {
+					setLike = false
+				}
+			}
+			if !addLike && !setLike {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// litmusVerdict is the serialized payload of one cached verdict. The
+// expectation fields of a TestResult are not stored: they derive from the
+// Test at hand and are recomputed on a hit, so editing a test's Expected
+// map never resurrects a stale Matches flag.
+type litmusVerdict struct {
+	Holds           bool           `json:"holds"`
+	ValidExecutions int            `json:"valid_executions"`
+	Candidates      int            `json:"candidates"`
+	Outcomes        []core.Outcome `json:"outcomes"`
+}
+
+// cachedVerdict reconstructs a TestResult from the cache, marking it as a
+// cache hit.
+func cachedVerdict(c *Cache, t *Test, typ AtomicityType) (TestResult, bool) {
+	if !cacheableTest(t) {
+		return TestResult{}, false
+	}
+	var v litmusVerdict
+	if !c.Get(LitmusCacheKey(t, typ), &v) {
+		return TestResult{}, false
+	}
+	set := core.NewOutcomeSet()
+	for _, o := range v.Outcomes {
+		set.Add(o)
+	}
+	res := TestResult{
+		Test:            t,
+		Atomicity:       typ,
+		Holds:           v.Holds,
+		Matches:         true,
+		ValidExecutions: v.ValidExecutions,
+		Candidates:      v.Candidates,
+		Outcomes:        set,
+		CacheHit:        true,
+	}
+	if exp, ok := t.Expected[typ]; ok {
+		e := exp
+		res.Expected = &e
+		res.Matches = v.Holds == exp
+	}
+	return res, true
+}
+
+// storeVerdict persists a fresh verdict best-effort; verdicts of tests
+// whose RMW semantics the canonical rendering cannot represent are never
+// stored (their keys could alias).
+func storeVerdict(c *Cache, res TestResult) {
+	if !cacheableTest(res.Test) {
+		return
+	}
+	_ = c.Put(LitmusCacheKey(res.Test, res.Atomicity), litmusVerdict{
+		Holds:           res.Holds,
+		ValidExecutions: res.ValidExecutions,
+		Candidates:      res.Candidates,
+		Outcomes:        res.Outcomes.Outcomes(),
+	})
+}

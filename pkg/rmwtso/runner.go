@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cpp11"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 )
 
 // Event is one streamed result from a Runner: exactly one field is
@@ -40,6 +41,10 @@ type SimRun struct {
 	Type AtomicityType
 	// Result holds the run's statistics.
 	Result *SimResult
+	// CacheHit marks a run served from the Runner's result cache: no
+	// simulator executed for it. Observers can count hits to verify a
+	// warm sweep did zero simulation work.
+	CacheHit bool
 }
 
 // options collects the Runner configuration set by functional options.
@@ -49,6 +54,7 @@ type options struct {
 	enumWorkers int
 	observer    Observer
 	types       []AtomicityType
+	cache       *simcache.Cache
 }
 
 // Option configures a Runner.
@@ -85,6 +91,16 @@ func WithObserver(fn Observer) Option {
 // pool.
 func WithEnumWorkers(n int) Option {
 	return func(o *options) { o.enumWorkers = n }
+}
+
+// WithCache makes the Runner consult (and fill) a content-addressed
+// result cache: litmus verdicts in CheckTests/CheckSuite, and simulator
+// runs in RunBenchmarks and the Cached sweep variants. Hits skip the
+// computation entirely and are flagged on the streamed event (SimRun and
+// TestResult carry a CacheHit field); results are identical either way.
+// A nil cache disables caching (the default).
+func WithCache(c *Cache) Option {
+	return func(o *options) { o.cache = c }
 }
 
 // WithRMWTypes restricts the atomicity types the Runner checks or sweeps.
@@ -221,9 +237,19 @@ func (r *Runner) CheckTests(tests ...*Test) ([]TestResult, error) {
 	results := make([]TestResult, len(units))
 	err := r.runUnits(len(units), func(i int) error {
 		u := units[i]
+		if r.opts.cache != nil {
+			if res, ok := cachedVerdict(r.opts.cache, tests[u.ti], types[u.yi]); ok {
+				results[i] = res
+				r.emit(Event{Litmus: &results[i]})
+				return nil
+			}
+		}
 		res, err := tests[u.ti].RunParallel(r.opts.ctx, types[u.yi], r.opts.enumWorkers)
 		if err != nil {
 			return err
+		}
+		if r.opts.cache != nil {
+			storeVerdict(r.opts.cache, res)
 		}
 		results[i] = res
 		r.emit(Event{Litmus: &results[i]})
@@ -290,16 +316,60 @@ func (r *Runner) SweepTrace(cfg SimConfig, trace *Trace) ([]SimRun, error) {
 // Trace.Source both do), since the per-type runs consume it concurrently.
 // The returned slice is ordered like the configured types.
 func (r *Runner) SweepSource(cfg SimConfig, src TraceSource) ([]SimRun, error) {
+	return r.sweepSource(cfg, src, nil)
+}
+
+// sweepKeyMeta carries the workload identity a sweep needs to derive
+// cache keys; nil disables caching for the sweep.
+type sweepKeyMeta struct {
+	seed  int64
+	scale float64
+}
+
+// SweepSourceCached is SweepSource consulting the Runner's cache
+// (WithCache), with the workload seed and scale that produced src
+// completing each run's cache key. Hits replay stored results (flagged
+// CacheHit on the run and its streamed event) without simulating; misses
+// run and are stored. Without a configured cache it behaves exactly like
+// SweepSource.
+func (r *Runner) SweepSourceCached(cfg SimConfig, src TraceSource, seed int64, scale float64) ([]SimRun, error) {
+	return r.sweepSource(cfg, src, &sweepKeyMeta{seed: seed, scale: scale})
+}
+
+// sweepSource is the shared per-type sweep; meta enables cache lookups.
+func (r *Runner) sweepSource(cfg SimConfig, src TraceSource, meta *sweepKeyMeta) ([]SimRun, error) {
 	types := r.opts.types
+	cache := r.opts.cache
+	if meta == nil {
+		cache = nil
+	}
 	runs := make([]SimRun, len(types))
 	err := r.runUnits(len(types), func(i int) error {
-		s, err := sim.New(cfg.WithRMWType(types[i]))
+		run := cfg.WithRMWType(types[i])
+		if err := run.Validate(); err != nil {
+			return err
+		}
+		var key simcache.Key
+		if cache != nil {
+			key = simcache.SimKey(run, src, meta.seed, meta.scale)
+			// Deadlocked entries are never stored, but a foreign one is
+			// also never served: deadlocks always re-execute.
+			if res, ok := cache.GetSim(key); ok && !res.Deadlocked {
+				runs[i] = SimRun{Trace: src.Name(), Type: types[i], Result: res, CacheHit: true}
+				r.emit(Event{Sim: &runs[i]})
+				return nil
+			}
+		}
+		s, err := sim.New(run)
 		if err != nil {
 			return err
 		}
 		res, err := s.RunSource(src)
 		if err != nil {
 			return err
+		}
+		if cache != nil && !res.Deadlocked {
+			_ = cache.PutSim(key, res)
 		}
 		runs[i] = SimRun{Trace: src.Name(), Type: types[i], Result: res}
 		r.emit(Event{Sim: &runs[i]})

@@ -15,6 +15,23 @@
 //	experiments -cache-dir DIR        cache simulation results under DIR
 //	experiments -cache-clear          clear the cache directory first
 //
+// Sharded sweeps and machine-readable reports:
+//
+//	experiments -quick -list-units              print the sweep plan (unit IDs, traces, types, seeds)
+//	experiments -quick -format json             full report as one JSON document (csv, ascii too)
+//	experiments -quick -shard 0/3 -out s0.json  run shard 0 of 3, write its artifact
+//	experiments -quick -merge -format ascii s0.json s1.json s2.json
+//	                                            merge shard artifacts into the full report
+//
+// The sweep is a deterministic plan of content-addressed units (one
+// benchmark × RMW type × seed simulation each), so any process that
+// builds the plan from the same flags agrees on unit identities: run
+// shard i/n on any machine, ship the JSON artifact back, and -merge
+// reconstructs a report byte-identical to an unsharded run — it fails
+// loudly if a unit is missing, duplicated, from a different plan, or if
+// an artifact is corrupt. -format selects the report encoding (ascii
+// tables, one JSON document, or multi-section CSV for dashboards).
+//
 // The semantics experiments (Tables 1 and 4) are exact model-checking
 // results and always match the paper. The simulation experiments (Table 3,
 // Fig. 11) reproduce the paper's shapes on the synthetic workloads; the
@@ -28,13 +45,15 @@
 // content-addressed cache and warm reruns regenerate byte-identical
 // tables without executing a single cached simulation; the hit/miss
 // counters are reported on stderr and per-run cache hits are flagged by
-// -progress.
+// -progress. Shards share the same keys: a unit cached by one sweep is a
+// cache hit for every shard that covers it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
 
 	"repro/pkg/rmwtso"
 )
@@ -56,6 +75,11 @@ func main() {
 		cacheOn  = flag.Bool("cache", false, "cache simulation results (default directory: ~/.cache/rmwtso)")
 		cacheDir = flag.String("cache-dir", "", "cache simulation results under this directory (implies -cache)")
 		cacheClr = flag.Bool("cache-clear", false, "clear the cache directory before running (implies -cache)")
+		shardArg = flag.String("shard", "", "run only sweep shard i/n (requires -out)")
+		outPath  = flag.String("out", "", "write the shard artifact to this file (with -shard)")
+		merge    = flag.Bool("merge", false, "merge the shard artifact files given as arguments into the full report")
+		format   = flag.String("format", "", "emit the full report in this format: ascii, json or csv")
+		listU    = flag.Bool("list-units", false, "print the sweep plan (unit IDs, traces, types, seeds) and exit")
 	)
 	flag.Parse()
 
@@ -98,6 +122,73 @@ func main() {
 	check(err)
 	opts.Cache = cache
 
+	// The plan pipeline: every mode below agrees on unit identities
+	// because each rebuilds the same deterministic plan from the flags.
+	planMode := *listU || *shardArg != "" || *merge || *format != ""
+	if *outPath != "" && *shardArg == "" {
+		fatalUsage(fmt.Errorf("-out only applies with -shard"))
+	}
+	if planMode {
+		if *all || *table != "" || *fig != "" || *summary {
+			fatalUsage(fmt.Errorf("-list-units/-shard/-merge/-format emit whole-plan output and cannot be combined with -all/-table/-fig/-summary"))
+		}
+		if *listU && *format != "" {
+			fatalUsage(fmt.Errorf("-list-units prints the plan listing; -format only applies to full reports"))
+		}
+		plan, err := rmwtso.DefaultPlan(opts)
+		check(err)
+
+		switch {
+		case *listU:
+			listUnits(plan)
+			return
+
+		case *shardArg != "":
+			if *merge {
+				fatalUsage(fmt.Errorf("-shard runs a sweep subset and cannot be combined with -merge"))
+			}
+			if *format != "" {
+				fatalUsage(fmt.Errorf("-shard always writes the artifact envelope; -format only applies to full reports (-merge or neither)"))
+			}
+			if *outPath == "" {
+				fatalUsage(fmt.Errorf("-shard needs -out FILE to write the shard artifact"))
+			}
+			shard, err := rmwtso.ParseShard(*shardArg)
+			check(err)
+			res, err := newRunner(*par, cache, *progress).RunPlan(nil, plan, shard)
+			check(err)
+			check(res.WriteFile(*outPath))
+			hits := 0
+			for _, u := range res.Units {
+				if u.CacheHit {
+					hits++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "experiments: shard %s: %d of %d units (%d cache hits) -> %s\n",
+				shard, len(res.Units), plan.Len(), hits, *outPath)
+			reportCache(cache)
+			return
+
+		case *merge:
+			if flag.NArg() == 0 {
+				fatalUsage(fmt.Errorf("-merge needs shard artifact files as arguments"))
+			}
+			runs, err := rmwtso.MergeShardFiles(plan, flag.Args()...)
+			check(err)
+			emitReport(opts, runs, *format)
+			return
+
+		default: // -format without -shard/-merge: unsharded full report.
+			res, err := newRunner(*par, cache, *progress).RunPlan(nil, plan, rmwtso.FullShard())
+			check(err)
+			runs, err := plan.Runs(res.Units)
+			check(err)
+			emitReport(opts, runs, *format)
+			reportCache(cache)
+			return
+		}
+	}
+
 	if !*all && *table == "" && *fig == "" && !*summary {
 		flag.Usage()
 		os.Exit(2)
@@ -131,27 +222,7 @@ func main() {
 		return
 	}
 
-	runnerOpts := []rmwtso.Option{}
-	if *par > 0 {
-		runnerOpts = append(runnerOpts, rmwtso.WithParallelism(*par))
-	}
-	if cache != nil {
-		runnerOpts = append(runnerOpts, rmwtso.WithCache(cache))
-	}
-	if *progress {
-		runnerOpts = append(runnerOpts, rmwtso.WithObserver(func(e rmwtso.Event) {
-			if e.Sim == nil {
-				return
-			}
-			verb := "done"
-			if e.Sim.CacheHit {
-				verb = "cached"
-			}
-			fmt.Fprintf(os.Stderr, "  %s: %s under %s (%d cycles)\n",
-				verb, e.Sim.Trace, e.Sim.Type, e.Sim.Result.Cycles)
-		}))
-	}
-	runner := rmwtso.NewRunner(runnerOpts...)
+	runner := newRunner(*par, cache, *progress)
 
 	fmt.Printf("Simulating the Table 3 benchmark set (%d cores, scale %.2f)...\n\n", opts.Cores, opts.Scale)
 	runs, err := runner.RunTable3Benchmarks(opts)
@@ -177,6 +248,54 @@ func main() {
 		fmt.Println(rmwtso.Summarize(figA, figB).Render())
 	}
 	reportCache(cache)
+}
+
+// newRunner builds the sweep Runner shared by the legacy and plan modes.
+func newRunner(par int, cache *rmwtso.Cache, progress bool) *rmwtso.Runner {
+	runnerOpts := []rmwtso.Option{}
+	if par > 0 {
+		runnerOpts = append(runnerOpts, rmwtso.WithParallelism(par))
+	}
+	if cache != nil {
+		runnerOpts = append(runnerOpts, rmwtso.WithCache(cache))
+	}
+	if progress {
+		runnerOpts = append(runnerOpts, rmwtso.WithObserver(func(e rmwtso.Event) {
+			if e.Sim == nil {
+				return
+			}
+			verb := "done"
+			if e.Sim.CacheHit {
+				verb = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "  %s: %s: %s under %s (%d cycles)\n",
+				verb, e.Sim.Unit, e.Sim.Trace, e.Sim.Type, e.Sim.Result.Cycles)
+		}))
+	}
+	return rmwtso.NewRunner(runnerOpts...)
+}
+
+// listUnits prints the plan as a fixed-width listing so operators can
+// audit shard boundaries before launching a fleet.
+func listUnits(plan *rmwtso.Plan) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "UNIT\tTRACE\tBENCHMARK\tTYPE\tSEED\tSCALE\n")
+	for _, u := range plan.Units() {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%g\n", u.ID, u.Trace, u.Benchmark, u.Type, u.Seed, u.Scale)
+	}
+	w.Flush()
+	fmt.Printf("%d units, plan %s\n", plan.Len(), plan.Fingerprint())
+}
+
+// emitReport builds the full evaluation report from the runs and encodes
+// it on stdout ("" defaults to ascii).
+func emitReport(opts rmwtso.Options, runs []*rmwtso.BenchmarkRun, format string) {
+	if format == "" {
+		format = rmwtso.FormatASCII
+	}
+	report, err := rmwtso.BuildReport(opts, runs)
+	check(err)
+	check(rmwtso.EncodeReport(os.Stdout, report, format))
 }
 
 // reportCache prints the cache traffic counters on stderr (never stdout,

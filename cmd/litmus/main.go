@@ -11,6 +11,9 @@
 //	litmus -j 8              worker-pool parallelism (default: GOMAXPROCS)
 //	litmus -enum-workers 8   fan each verdict's enumeration across 8 goroutines
 //	litmus -v                also stream the outcome sets as verdicts finish
+//	litmus -shard 0/3        run only verdict shard 0 of 3
+//	litmus -list-units       print the verdict grid (unit IDs) and exit
+//	litmus -format json      emit verdicts as JSON (ascii, csv too)
 //	litmus -cache            serve repeated verdicts from ~/.cache/rmwtso
 //	litmus -cache-dir DIR    serve repeated verdicts from a cache under DIR
 //	litmus -cache-clear      clear the cache directory first
@@ -21,6 +24,13 @@
 // dominates the wall clock. The default, 0, picks per program: GOMAXPROCS
 // for large candidate spaces, 1 for small ones.
 //
+// The (test, type) verdict grid is a deterministic unit plan just like
+// the simulation sweep: every unit's ID derives from the verdict's
+// content-addressed cache key, so -shard i/n splits one suite across
+// processes (disjoint, collectively exhaustive, same IDs everywhere),
+// -list-units audits the boundaries first, and -format json/csv emits
+// unit-tagged verdicts that downstream tooling can merge by ID.
+//
 // A verdict is a pure function of the test's canonical rendering and the
 // atomicity type, so with -cache repeated checks (across processes, when
 // the disk tier is on) replay the stored outcome sets instead of
@@ -28,10 +38,13 @@
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"repro/pkg/rmwtso"
 )
@@ -46,6 +59,9 @@ func main() {
 		par      = flag.Int("j", 0, "worker-pool parallelism (default: GOMAXPROCS)")
 		enumW    = flag.Int("enum-workers", 0, "goroutines per verdict's candidate enumeration (default: auto by candidate count)")
 		verbose  = flag.Bool("v", false, "stream outcome sets as verdicts finish")
+		shardArg = flag.String("shard", "", "run only verdict shard i/n")
+		listU    = flag.Bool("list-units", false, "print the verdict grid (unit ID, test, type) and exit")
+		format   = flag.String("format", "ascii", "verdict output format: ascii, json or csv")
 		cacheOn  = flag.Bool("cache", false, "cache verdicts (default directory: ~/.cache/rmwtso)")
 		cacheDir = flag.String("cache-dir", "", "cache verdicts under this directory (implies -cache)")
 		cacheClr = flag.Bool("cache-clear", false, "clear the cache directory before running (implies -cache)")
@@ -58,12 +74,25 @@ func main() {
 	if *enumW < 0 {
 		fatalUsage(fmt.Errorf("-enum-workers must be non-negative, got %d", *enumW))
 	}
+	switch *format {
+	case rmwtso.FormatASCII, rmwtso.FormatJSON, rmwtso.FormatCSV:
+	default:
+		fatalUsage(fmt.Errorf("unknown -format %q (want ascii, json or csv)", *format))
+	}
+	shard := rmwtso.FullShard()
+	if *shardArg != "" {
+		var err error
+		if shard, err = rmwtso.ParseShard(*shardArg); err != nil {
+			fatalUsage(err)
+		}
+	}
 
 	cache, err := rmwtso.OpenCacheFromFlags(*cacheOn, *cacheDir, *cacheClr)
 	if err != nil {
 		fatal(err)
 	}
 
+	types := rmwtso.AllTypes()
 	var opts []rmwtso.Option
 	if cache != nil {
 		opts = append(opts, rmwtso.WithCache(cache))
@@ -73,6 +102,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		types = []rmwtso.AtomicityType{t}
 		opts = append(opts, rmwtso.WithRMWTypes(t))
 	}
 	if *par > 0 {
@@ -87,7 +117,7 @@ func main() {
 			if r == nil {
 				return
 			}
-			fmt.Printf("%s under %s: condition %s -> %v\n", r.Test.Name, r.Atomicity, r.Test.Cond, r.Holds)
+			fmt.Printf("%s: %s under %s: condition %s -> %v\n", r.Unit, r.Test.Name, r.Atomicity, r.Test.Cond, r.Holds)
 			for _, key := range r.Outcomes.Keys() {
 				fmt.Printf("    %s\n", key)
 			}
@@ -126,7 +156,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	results, err := view.Run(opts...)
+	if *listU {
+		if err := view.Err(); err != nil {
+			fatal(err)
+		}
+		listUnits(view, types, shard)
+		return
+	}
+
+	results, err := view.RunShard(shard, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -136,7 +174,9 @@ func main() {
 			mismatches++
 		}
 	}
-	fmt.Print(rmwtso.Report(results))
+	if err := emitResults(os.Stdout, results, *format); err != nil {
+		fatal(err)
+	}
 	if cache != nil {
 		fmt.Fprintf(os.Stderr, "litmus: cache: %s (dir %s)\n", cache.Stats(), cache.Dir())
 	}
@@ -144,6 +184,96 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d result(s) do not match their recorded expectation\n", mismatches)
 		os.Exit(1)
 	}
+}
+
+// listUnits prints the verdict grid the shard covers, so operators can
+// audit shard boundaries before splitting a suite across processes.
+func listUnits(view *rmwtso.SuiteView, types []rmwtso.AtomicityType, shard rmwtso.Shard) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "UNIT\tTEST\tTYPE\n")
+	total, selected := 0, 0
+	pos := 0
+	for _, t := range view.Tests() {
+		for _, typ := range types {
+			id := rmwtso.UnitID(rmwtso.LitmusCacheKey(t, typ).UnitID())
+			total++
+			if shard.Covers(pos, id) {
+				selected++
+				fmt.Fprintf(w, "%s\t%s\t%s\n", id, t.Name, typ)
+			}
+			pos++
+		}
+	}
+	w.Flush()
+	fmt.Printf("%d of %d verdict units\n", selected, total)
+}
+
+// verdictRecord is the machine-readable view of one litmus verdict.
+type verdictRecord struct {
+	Unit       string   `json:"unit"`
+	Test       string   `json:"test"`
+	Type       string   `json:"type"`
+	Holds      bool     `json:"holds"`
+	Expected   *bool    `json:"expected,omitempty"`
+	Matches    bool     `json:"matches"`
+	Valid      int      `json:"valid_executions"`
+	Candidates int      `json:"candidates"`
+	Outcomes   []string `json:"outcomes"`
+	CacheHit   bool     `json:"cache_hit,omitempty"`
+}
+
+// record flattens a result for the JSON and CSV encodings.
+func record(r rmwtso.TestResult) verdictRecord {
+	return verdictRecord{
+		Unit:       r.Unit,
+		Test:       r.Test.Name,
+		Type:       r.Atomicity.String(),
+		Holds:      r.Holds,
+		Expected:   r.Expected,
+		Matches:    r.Matches,
+		Valid:      r.ValidExecutions,
+		Candidates: r.Candidates,
+		Outcomes:   r.Outcomes.Keys(),
+		CacheHit:   r.CacheHit,
+	}
+}
+
+// emitResults renders the verdicts in the chosen format: the fixed-width
+// report (ascii), one JSON array (json), or one row per verdict with the
+// outcome set joined by "; " (csv).
+func emitResults(w *os.File, results []rmwtso.TestResult, format string) error {
+	switch format {
+	case rmwtso.FormatJSON:
+		recs := make([]verdictRecord, len(results))
+		for i, r := range results {
+			recs[i] = record(r)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(recs)
+	case rmwtso.FormatCSV:
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"unit", "test", "type", "holds", "expected", "matches", "valid_executions", "candidates", "outcomes", "cache_hit"}); err != nil {
+			return err
+		}
+		for _, r := range results {
+			rec := record(r)
+			expected := ""
+			if rec.Expected != nil {
+				expected = fmt.Sprintf("%v", *rec.Expected)
+			}
+			if err := cw.Write([]string{rec.Unit, rec.Test, rec.Type,
+				fmt.Sprintf("%v", rec.Holds), expected, fmt.Sprintf("%v", rec.Matches),
+				fmt.Sprintf("%d", rec.Valid), fmt.Sprintf("%d", rec.Candidates),
+				strings.Join(rec.Outcomes, "; "), fmt.Sprintf("%v", rec.CacheHit)}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	_, err := fmt.Fprint(w, rmwtso.RenderLitmusResults(results))
+	return err
 }
 
 func fatal(err error) {

@@ -23,9 +23,15 @@
 // scale, RMW type), so an identical invocation replays the stored
 // statistics instead of simulating. -cache-clear empties the cache
 // directory first.
+//
+// -format json emits each run as one JSON object tagged with its stable
+// unit ID (the same identity cmd/experiments plans and shards by), so a
+// single rmwsim run slots into the same dashboards and merge tooling as
+// a full sweep; the default, ascii, prints the human-readable statistics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +39,28 @@ import (
 
 	"repro/pkg/rmwtso"
 )
+
+// runRecord is the machine-readable view of one simulator run.
+type runRecord struct {
+	Unit     string            `json:"unit,omitempty"`
+	Trace    string            `json:"trace"`
+	Type     string            `json:"type"`
+	CacheHit bool              `json:"cache_hit,omitempty"`
+	Result   *rmwtso.SimResult `json:"result"`
+}
+
+// emitRun prints one finished run in the chosen format.
+func emitRun(format string, rec runRecord) {
+	if format == rmwtso.FormatJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(rec.Result.String())
+}
 
 func main() {
 	var (
@@ -47,6 +75,7 @@ func main() {
 		check     = flag.Bool("check", false, "model-check the fig10 litmus test before simulating it")
 		enumW     = flag.Int("enum-workers", 0, "goroutines per -check verdict's enumeration (default: auto by candidate count)")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
+		format    = flag.String("format", "ascii", "run output format: ascii or json")
 		cacheOn   = flag.Bool("cache", false, "cache simulation results (default directory: ~/.cache/rmwtso)")
 		cacheDir  = flag.String("cache-dir", "", "cache simulation results under this directory (implies -cache)")
 		cacheClr  = flag.Bool("cache-clear", false, "clear the cache directory before running (implies -cache)")
@@ -68,6 +97,11 @@ func main() {
 	}
 	if *enumW < 0 {
 		fatalUsage(fmt.Errorf("-enum-workers must be non-negative, got %d", *enumW))
+	}
+	switch *format {
+	case rmwtso.FormatASCII, rmwtso.FormatJSON:
+	default:
+		fatalUsage(fmt.Errorf("unknown -format %q (want ascii or json)", *format))
 	}
 
 	cache, err := rmwtso.OpenCacheFromFlags(*cacheOn, *cacheDir, *cacheClr)
@@ -101,7 +135,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("semantic verdict for the Fig. 10 pattern (the cyclic outcome must be forbidden):")
-		fmt.Print(rmwtso.Report(results))
+		fmt.Print(rmwtso.RenderLitmusResults(results))
 		fmt.Println()
 	}
 	cfg := rmwtso.DefaultSimConfig().WithCores(*cores)
@@ -133,20 +167,27 @@ func main() {
 			if run.CacheHit {
 				fmt.Fprintf(os.Stderr, "rmwsim: %s under %s served from cache\n", run.Trace, run.Type)
 			}
-			fmt.Print(run.Result.String())
+			emitRun(*format, runRecord{Unit: string(run.Unit), Trace: run.Trace, Type: run.Type.String(), CacheHit: run.CacheHit, Result: run.Result})
 		}
 		reportCache(cache)
 		return
 	}
 
-	res, hit, err := rmwtso.SimulateSourceCached(cache, cfg.WithRMWType(typ), source, *seed, *scale)
+	runCfg := cfg.WithRMWType(typ)
+	res, hit, err := rmwtso.SimulateSourceCached(cache, runCfg, source, *seed, *scale)
 	if err != nil {
 		fatal(err)
 	}
 	if hit {
 		fmt.Fprintln(os.Stderr, "rmwsim: result served from cache")
 	}
-	fmt.Print(res.String())
+	emitRun(*format, runRecord{
+		Unit:     rmwtso.SimCacheKey(runCfg, source, *seed, *scale).UnitID(),
+		Trace:    source.Name(),
+		Type:     typ.String(),
+		CacheHit: hit,
+		Result:   res,
+	})
 	reportCache(cache)
 	if res.Deadlocked {
 		fmt.Println("the run deadlocked: this is the Fig. 10 write-deadlock that the bloom-filter protocol prevents")

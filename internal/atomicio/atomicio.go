@@ -1,0 +1,45 @@
+// Package atomicio holds the write-temp-then-rename file publication
+// helper shared by everything in this repository that persists artifacts
+// other processes may read concurrently: the simcache disk tier and the
+// sweep shard artifacts. Readers only ever observe complete files — a
+// crash mid-write leaves a temp file behind, never a truncated artifact.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// TempPrefix starts the name of every in-flight temp file, so cleanup
+// sweeps (like simcache.Clear) can glob for orphans.
+const TempPrefix = ".tmp-"
+
+// WriteFile writes data to path atomically: the bytes go to a temp file
+// in path's directory (rename is only atomic within one filesystem) and
+// the temp file is renamed over path once fully written and closed. On
+// any error the temp file is removed and path is left untouched.
+func WriteFile(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, TempPrefix+base+"-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: creating temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: writing %s: %w", base, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: closing %s: %w", base, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: publishing %s: %w", base, err)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFile(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("read %q, want %q", got, "v1")
+	}
+
+	// Overwrite must replace the content wholesale.
+	if err := WriteFile(path, []byte("second version")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second version" {
+		t.Fatalf("read %q after overwrite, want %q", got, "second version")
+	}
+
+	// No temp files may survive a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			t.Fatalf("orphaned temp file %s after successful writes", e.Name())
+		}
+	}
+}
+
+func TestWriteFileFailureLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "missing-subdir", "artifact.json")
+	if err := WriteFile(path, []byte("x")); err == nil {
+		t.Fatal("writing into a missing directory succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target exists after failed write (stat err %v)", err)
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// ASCIIEncoder renders a Report as the paper-layout fixed-width tables
+// and bar charts. It is the terminal-facing encoding; the section
+// renderers it is built from also back the public Render* wrappers, so
+// one section rendered standalone is byte-identical to the same section
+// inside a full report.
+type ASCIIEncoder struct{}
+
+// Encode writes the report's sections in paper order: Tables 1, 2, 3 and
+// 4, Fig. 11(a)/(b), then the headline summary.
+func (ASCIIEncoder) Encode(w io.Writer, r *Report) error {
+	var b strings.Builder
+	b.WriteString(asciiTable1(r.Table1))
+	b.WriteString("\n")
+	b.WriteString(asciiTable2(r.Table2))
+	b.WriteString("\n")
+	b.WriteString(asciiTable3(r.Table3))
+	b.WriteString("\n")
+	b.WriteString(asciiTable4(r.Table4))
+	b.WriteString("\n")
+	b.WriteString(asciiFig11a(r.Fig11a))
+	b.WriteString("\n")
+	b.WriteString(asciiFig11b(r.Fig11b))
+	b.WriteString("\n")
+	b.WriteString(r.Summary.Render())
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// asciiTable1 renders Table 1 rows in the paper's layout.
+func asciiTable1(rows []Table1Row) string {
+	t := stats.NewTable("Table 1: conventional RMW (type-1) vs proposed RMWs (type-2, type-3)",
+		"Atomicity", "Dekker reads->RMW", "Dekker writes->RMW", "RMW as barrier", "C++11 SC-reads->RMW", "C++11 SC-writes->RMW")
+	for _, r := range rows {
+		t.AddRow(r.Atomicity.String(),
+			stats.Mark(r.DekkerReads), stats.Mark(r.DekkerWrites), stats.Mark(r.RMWAsBarrier),
+			stats.Mark(r.CppReadReplacement), stats.Mark(r.CppWriteReplacement))
+	}
+	return t.Render()
+}
+
+// asciiTable2 renders the architectural parameter rows (Table 2).
+func asciiTable2(rows [][2]string) string {
+	t := stats.NewTable("Table 2: architectural parameters", "Component", "Configuration")
+	for _, row := range rows {
+		t.AddRow(row[0], row[1])
+	}
+	return t.Render()
+}
+
+// asciiTable3 renders Table 3 rows, including the paper's reference
+// values for the structural columns.
+func asciiTable3(rows []Table3Row) string {
+	t := stats.NewTable("Table 3: benchmark characteristics (measured vs paper)",
+		"Code", "Suite", "Problem size",
+		"RMWs/1000 memops", "(paper)",
+		"% unique RMWs", "(paper)",
+		"% WB drains type-2/3", "RMW broadcasts/100")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Suite, r.Size,
+			stats.F2(r.RMWsPer1000), stats.F2(r.PaperRMWsPer1000),
+			stats.F2(r.UniquePct), stats.F2(r.PaperUniquePct),
+			stats.F2(r.DrainPct), stats.F2(r.BroadcastsPer100))
+	}
+	return t.Render()
+}
+
+// asciiTable4 renders the mapping-validation matrix together with the
+// instruction selection of each mapping.
+func asciiTable4(rows []Table4Row) string {
+	sel := stats.NewTable("Table 4: mapping from C/C++11 to x86",
+		"Mapping", "SC read", "SC write", "non-SC read", "non-SC write")
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[r.Mapping.String()] {
+			continue
+		}
+		seen[r.Mapping.String()] = true
+		scRead, scWrite := "mov", "mov"
+		if r.Mapping.MapsSCLoadToRMW() {
+			scRead = "lock xadd(0)"
+		}
+		if r.Mapping.MapsSCStoreToRMW() {
+			scWrite = "lock xchg"
+		}
+		sel.AddRow(r.Mapping.String(), scRead, scWrite, "mov", "mov")
+	}
+	val := stats.NewTable("Mapping soundness per RMW atomicity type (SC store buffering)",
+		"Mapping", "Atomicity", "Sound", "Counterexample")
+	for _, r := range rows {
+		val.AddRow(r.Mapping.String(), r.Atomicity.String(), stats.Mark(r.Sound), r.Counterexample)
+	}
+	return sel.Render() + "\n" + val.Render()
+}
+
+// asciiFig11a renders the Fig. 11(a) data as a table plus a bar chart of
+// the total per-RMW cost.
+func asciiFig11a(entries []Fig11aEntry) string {
+	t := stats.NewTable("Fig. 11(a): cost of type-1/2/3 RMWs (cycles, split write-buffer + Ra/Wa)",
+		"Benchmark",
+		"t1 WB", "t1 Ra/Wa", "t1 total",
+		"t2 WB", "t2 Ra/Wa", "t2 total",
+		"t3 WB", "t3 Ra/Wa", "t3 total",
+		"t2 vs t1", "t3 vs t1")
+	series := map[core.AtomicityType]*stats.Series{
+		core.Type1: {Name: "type-1"},
+		core.Type2: {Name: "type-2"},
+		core.Type3: {Name: "type-3"},
+	}
+	for _, e := range entries {
+		cells := []string{e.Benchmark}
+		for _, typ := range core.AllTypes() {
+			cells = append(cells,
+				stats.F1(e.WriteBuffer[typ]), stats.F1(e.RaWa[typ]), stats.F1(e.Total(typ)))
+			if s, ok := series[typ]; ok && e.Total(typ) > 0 {
+				s.Add(e.Benchmark, e.Total(typ))
+			}
+		}
+		cells = append(cells,
+			"-"+stats.Percent(stats.PercentReduction(e.Total(core.Type1), e.Total(core.Type2))),
+			"-"+stats.Percent(stats.PercentReduction(e.Total(core.Type1), e.Total(core.Type3))))
+		t.AddRow(cells...)
+	}
+	chart := stats.Chart("Average RMW cost (cycles)", 40,
+		*series[core.Type1], *series[core.Type2], *series[core.Type3])
+	return t.Render() + "\n" + chart
+}
+
+// asciiFig11b renders the Fig. 11(b) data.
+func asciiFig11b(entries []Fig11bEntry) string {
+	t := stats.NewTable("Fig. 11(b): execution-time overhead of RMWs (% of total execution time)",
+		"Benchmark", "type-1", "type-2", "type-3", "speedup t2", "speedup t3")
+	s1 := stats.Series{Name: "type-1"}
+	s2 := stats.Series{Name: "type-2"}
+	s3 := stats.Series{Name: "type-3"}
+	for _, e := range entries {
+		row := []string{e.Benchmark}
+		for _, typ := range core.AllTypes() {
+			if _, ok := e.Overhead[typ]; ok {
+				row = append(row, stats.F2(e.Overhead[typ]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		row = append(row, stats.Percent(e.Speedup(core.Type2)))
+		if _, ok := e.Cycles[core.Type3]; ok {
+			row = append(row, stats.Percent(e.Speedup(core.Type3)))
+		} else {
+			row = append(row, "-")
+		}
+		t.AddRow(row...)
+		s1.Add(e.Benchmark, e.Overhead[core.Type1])
+		s2.Add(e.Benchmark, e.Overhead[core.Type2])
+		if v, ok := e.Overhead[core.Type3]; ok {
+			s3.Add(e.Benchmark, v)
+		} else {
+			s3.Add(e.Benchmark, 0)
+		}
+	}
+	chart := stats.Chart("RMW overhead (% of execution time)", 40, s1, s2, s3)
+	return t.Render() + "\n" + chart
+}

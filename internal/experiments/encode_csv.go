@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// CSVEncoder renders a Report as a multi-section CSV stream: each section
+// starts with a `# <section>` comment line (readable by csv readers
+// configured with comment='#'), followed by that section's header row and
+// records. Numbers are emitted at full float precision so a merged and an
+// unsharded report encode byte-identically.
+type CSVEncoder struct{}
+
+// Encode writes every report section as CSV records.
+func (CSVEncoder) Encode(w io.Writer, r *Report) error {
+	cw := csv.NewWriter(w)
+	section := func(name string, header []string, rows [][]string) error {
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# %s\n", name); err != nil {
+			return err
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		return cw.WriteAll(rows)
+	}
+
+	var t1 [][]string
+	for _, row := range r.Table1 {
+		t1 = append(t1, []string{row.Atomicity.String(),
+			b(row.DekkerReads), b(row.DekkerWrites), b(row.RMWAsBarrier),
+			b(row.CppReadReplacement), b(row.CppWriteReplacement)})
+	}
+	if err := section("table1", []string{"atomicity", "dekker_reads", "dekker_writes", "rmw_as_barrier", "cpp_read_replacement", "cpp_write_replacement"}, t1); err != nil {
+		return err
+	}
+
+	var t2 [][]string
+	for _, row := range r.Table2 {
+		t2 = append(t2, []string{row[0], row[1]})
+	}
+	if err := section("table2", []string{"component", "configuration"}, t2); err != nil {
+		return err
+	}
+
+	var t3 [][]string
+	for _, row := range r.Table3 {
+		t3 = append(t3, []string{row.Name, row.Suite, row.Size,
+			f(row.RMWsPer1000), f(row.PaperRMWsPer1000),
+			f(row.UniquePct), f(row.PaperUniquePct),
+			f(row.DrainPct), f(row.BroadcastsPer100)})
+	}
+	if err := section("table3", []string{"code", "suite", "problem_size", "rmws_per_1000", "paper_rmws_per_1000", "unique_pct", "paper_unique_pct", "drain_pct", "broadcasts_per_100"}, t3); err != nil {
+		return err
+	}
+
+	var t4 [][]string
+	for _, row := range r.Table4 {
+		t4 = append(t4, []string{row.Mapping.String(), row.Atomicity.String(), b(row.Sound), row.Counterexample})
+	}
+	if err := section("table4", []string{"mapping", "atomicity", "sound", "counterexample"}, t4); err != nil {
+		return err
+	}
+
+	var fa [][]string
+	for _, e := range r.Fig11a {
+		rec := []string{e.Benchmark}
+		for _, typ := range core.AllTypes() {
+			// A type the benchmark does not run under stays empty, like
+			// the ASCII table's "-" — emitting zeros would fabricate data.
+			_, wbOK := e.WriteBuffer[typ]
+			_, rwOK := e.RaWa[typ]
+			if !wbOK && !rwOK {
+				rec = append(rec, "", "", "")
+				continue
+			}
+			rec = append(rec, f(e.WriteBuffer[typ]), f(e.RaWa[typ]), f(e.Total(typ)))
+		}
+		fa = append(fa, rec)
+	}
+	if err := section("fig11a", []string{"benchmark",
+		"t1_write_buffer", "t1_ra_wa", "t1_total",
+		"t2_write_buffer", "t2_ra_wa", "t2_total",
+		"t3_write_buffer", "t3_ra_wa", "t3_total"}, fa); err != nil {
+		return err
+	}
+
+	var fb [][]string
+	for _, e := range r.Fig11b {
+		rec := []string{e.Benchmark}
+		for _, typ := range core.AllTypes() {
+			// Same sentinel rule: a missing type must not read as zero
+			// overhead (or, worse, as a 100% speedup below).
+			if _, ok := e.Cycles[typ]; !ok {
+				rec = append(rec, "", "")
+				continue
+			}
+			rec = append(rec, f(e.Overhead[typ]), strconv.FormatUint(e.Cycles[typ], 10))
+		}
+		rec = append(rec, f(e.Speedup(core.Type2)))
+		if _, ok := e.Cycles[core.Type3]; ok {
+			rec = append(rec, f(e.Speedup(core.Type3)))
+		} else {
+			rec = append(rec, "")
+		}
+		fb = append(fb, rec)
+	}
+	if err := section("fig11b", []string{"benchmark",
+		"t1_overhead_pct", "t1_cycles",
+		"t2_overhead_pct", "t2_cycles",
+		"t3_overhead_pct", "t3_cycles",
+		"speedup_t2_pct", "speedup_t3_pct"}, fb); err != nil {
+		return err
+	}
+
+	s := r.Summary
+	if err := section("summary", []string{
+		"type2_cost_reduction_min", "type2_cost_reduction_max",
+		"type3_cost_reduction_min", "type3_cost_reduction_max",
+		"max_speedup_type2", "max_speedup_type3", "avg_type1_drain_share"},
+		[][]string{{f(s.Type2CostReductionMin), f(s.Type2CostReductionMax),
+			f(s.Type3CostReductionMin), f(s.Type3CostReductionMax),
+			f(s.MaxSpeedupType2), f(s.MaxSpeedupType3), f(s.AvgType1DrainShare)}}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// f formats a float at full precision (shortest round-tripping form).
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// b formats a bool as "true"/"false".
+func b(v bool) string { return strconv.FormatBool(v) }
+
+// schemaError reports a report schema this build cannot decode.
+func schemaError(got int) error {
+	return fmt.Errorf("experiments: report schema version %d, this build understands %d", got, ReportSchemaVersion)
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONEncoder renders a Report as one indented JSON document. The
+// encoding is deterministic (encoding/json sorts map keys), versioned by
+// the report's schema_version field, and round-trips: unmarshaling the
+// output into a Report reproduces the original model, which is what lets
+// dashboards and the tests consume it structurally.
+type JSONEncoder struct{}
+
+// Encode writes the report as indented JSON followed by a newline.
+func (JSONEncoder) Encode(w io.Writer, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// DecodeReportJSON parses a JSON-encoded report, rejecting schemas this
+// build does not understand.
+func DecodeReportJSON(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	if r.SchemaVersion != ReportSchemaVersion {
+		return nil, schemaError(r.SchemaVersion)
+	}
+	return &r, nil
+}

@@ -12,10 +12,12 @@ import (
 // per-RMW cost split into write-buffer and Ra/Wa components, for each RMW
 // type.
 type Fig11aEntry struct {
-	Benchmark string
-	// WriteBuffer and RaWa are indexed by atomicity type.
-	WriteBuffer map[core.AtomicityType]float64
-	RaWa        map[core.AtomicityType]float64
+	Benchmark string `json:"benchmark"`
+	// WriteBuffer and RaWa are indexed by atomicity type (serialized with
+	// the numeric type as the key: "1", "2", "3"). A type a benchmark
+	// does not run under (write replacement has no type-3) is absent.
+	WriteBuffer map[core.AtomicityType]float64 `json:"write_buffer"`
+	RaWa        map[core.AtomicityType]float64 `json:"ra_wa"`
 }
 
 // Total returns the total average RMW cost for one type.
@@ -26,11 +28,11 @@ func (e Fig11aEntry) Total(t core.AtomicityType) float64 {
 // Fig11bEntry is one benchmark's bar group in Fig. 11(b): the share of
 // execution time spent on RMWs, per RMW type.
 type Fig11bEntry struct {
-	Benchmark string
-	Overhead  map[core.AtomicityType]float64
+	Benchmark string                         `json:"benchmark"`
+	Overhead  map[core.AtomicityType]float64 `json:"overhead"`
 	// Cycles records the total execution time per type, from which the
 	// headline end-to-end speedups are derived.
-	Cycles map[core.AtomicityType]uint64
+	Cycles map[core.AtomicityType]uint64 `json:"cycles"`
 }
 
 // Speedup returns the percentage reduction in execution time of the given
@@ -73,85 +75,26 @@ func Fig11FromRuns(runs []*BenchmarkRun) ([]Fig11aEntry, []Fig11bEntry) {
 }
 
 // RenderFig11a renders the Fig. 11(a) data as a table plus a bar chart of
-// the total per-RMW cost.
-func RenderFig11a(entries []Fig11aEntry) string {
-	t := stats.NewTable("Fig. 11(a): cost of type-1/2/3 RMWs (cycles, split write-buffer + Ra/Wa)",
-		"Benchmark",
-		"t1 WB", "t1 Ra/Wa", "t1 total",
-		"t2 WB", "t2 Ra/Wa", "t2 total",
-		"t3 WB", "t3 Ra/Wa", "t3 total",
-		"t2 vs t1", "t3 vs t1")
-	series := map[core.AtomicityType]*stats.Series{
-		core.Type1: {Name: "type-1"},
-		core.Type2: {Name: "type-2"},
-		core.Type3: {Name: "type-3"},
-	}
-	for _, e := range entries {
-		cells := []string{e.Benchmark}
-		for _, typ := range core.AllTypes() {
-			cells = append(cells,
-				stats.F1(e.WriteBuffer[typ]), stats.F1(e.RaWa[typ]), stats.F1(e.Total(typ)))
-			if s, ok := series[typ]; ok && e.Total(typ) > 0 {
-				s.Add(e.Benchmark, e.Total(typ))
-			}
-		}
-		cells = append(cells,
-			"-"+stats.Percent(stats.PercentReduction(e.Total(core.Type1), e.Total(core.Type2))),
-			"-"+stats.Percent(stats.PercentReduction(e.Total(core.Type1), e.Total(core.Type3))))
-		t.AddRow(cells...)
-	}
-	chart := stats.Chart("Average RMW cost (cycles)", 40,
-		*series[core.Type1], *series[core.Type2], *series[core.Type3])
-	return t.Render() + "\n" + chart
-}
+// the total per-RMW cost; a thin wrapper over the Report model's ASCII
+// section renderer.
+func RenderFig11a(entries []Fig11aEntry) string { return asciiFig11a(entries) }
 
-// RenderFig11b renders the Fig. 11(b) data.
-func RenderFig11b(entries []Fig11bEntry) string {
-	t := stats.NewTable("Fig. 11(b): execution-time overhead of RMWs (% of total execution time)",
-		"Benchmark", "type-1", "type-2", "type-3", "speedup t2", "speedup t3")
-	s1 := stats.Series{Name: "type-1"}
-	s2 := stats.Series{Name: "type-2"}
-	s3 := stats.Series{Name: "type-3"}
-	for _, e := range entries {
-		row := []string{e.Benchmark}
-		for _, typ := range core.AllTypes() {
-			if _, ok := e.Overhead[typ]; ok {
-				row = append(row, stats.F2(e.Overhead[typ]))
-			} else {
-				row = append(row, "-")
-			}
-		}
-		row = append(row, stats.Percent(e.Speedup(core.Type2)))
-		if _, ok := e.Cycles[core.Type3]; ok {
-			row = append(row, stats.Percent(e.Speedup(core.Type3)))
-		} else {
-			row = append(row, "-")
-		}
-		t.AddRow(row...)
-		s1.Add(e.Benchmark, e.Overhead[core.Type1])
-		s2.Add(e.Benchmark, e.Overhead[core.Type2])
-		if v, ok := e.Overhead[core.Type3]; ok {
-			s3.Add(e.Benchmark, v)
-		} else {
-			s3.Add(e.Benchmark, 0)
-		}
-	}
-	chart := stats.Chart("RMW overhead (% of execution time)", 40, s1, s2, s3)
-	return t.Render() + "\n" + chart
-}
+// RenderFig11b renders the Fig. 11(b) data; a thin wrapper over the
+// Report model's ASCII section renderer.
+func RenderFig11b(entries []Fig11bEntry) string { return asciiFig11b(entries) }
 
 // Summary condenses the headline claims of the paper's abstract: the range
 // of per-RMW cost reductions of type-2 and type-3 over type-1, the largest
 // end-to-end improvement, and the average share of type-1 RMW cost spent on
 // the write-buffer drain.
 type Summary struct {
-	Type2CostReductionMin float64
-	Type2CostReductionMax float64
-	Type3CostReductionMin float64
-	Type3CostReductionMax float64
-	MaxSpeedupType2       float64
-	MaxSpeedupType3       float64
-	AvgType1DrainShare    float64
+	Type2CostReductionMin float64 `json:"type2_cost_reduction_min"`
+	Type2CostReductionMax float64 `json:"type2_cost_reduction_max"`
+	Type3CostReductionMin float64 `json:"type3_cost_reduction_min"`
+	Type3CostReductionMax float64 `json:"type3_cost_reduction_max"`
+	MaxSpeedupType2       float64 `json:"max_speedup_type2"`
+	MaxSpeedupType3       float64 `json:"max_speedup_type3"`
+	AvgType1DrainShare    float64 `json:"avg_type1_drain_share"`
 }
 
 // Summarize derives the headline numbers from the Fig. 11 data.

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// ReportSchemaVersion versions the serialized Report model (and with it
+// the JSON and CSV encodings). Consumers must reject reports of a schema
+// they do not understand instead of misreading renamed fields.
+const ReportSchemaVersion = 1
+
+// Report is the typed, serializable model of the paper's full evaluation:
+// Tables 1-4, Fig. 11(a)/(b) and the headline summary. It is what every
+// encoder (ASCII, JSON, CSV) renders and what MergeShards reconstructs
+// from shard artifacts — a merged report is deeply equal to an unsharded
+// run's, so every encoding of it is byte-identical too.
+type Report struct {
+	// SchemaVersion is ReportSchemaVersion at build time.
+	SchemaVersion int `json:"schema_version"`
+	// Cores and Scale record the run shape the report was built from.
+	Cores int     `json:"cores"`
+	Scale float64 `json:"scale"`
+	// Seed is the workload generation seed of the simulation sweep.
+	Seed int64 `json:"seed"`
+	// Table1 is the idiom-support matrix; Table1Matches records whether it
+	// reproduces the paper's table exactly.
+	Table1        []Table1Row `json:"table1"`
+	Table1Matches bool        `json:"table1_matches_paper"`
+	// Table2 is the architectural parameter listing (component, setting).
+	Table2 [][2]string `json:"table2"`
+	// Table3 is the benchmark-characteristics table.
+	Table3 []Table3Row `json:"table3"`
+	// Table4 is the mapping-soundness matrix.
+	Table4 []Table4Row `json:"table4"`
+	// Fig11a and Fig11b are the per-RMW cost split and execution-time
+	// overhead figures.
+	Fig11a []Fig11aEntry `json:"fig11a"`
+	Fig11b []Fig11bEntry `json:"fig11b"`
+	// Summary is the headline summary derived from the figures.
+	Summary Summary `json:"summary"`
+}
+
+// BuildReport assembles the full evaluation report from finished
+// benchmark runs: the semantics results (Tables 1 and 4) are model
+// checked locally — they are exact, fast and identical on every machine —
+// while the simulation sections (Table 3, Fig. 11, summary) derive from
+// the runs, which may come from a local sweep or from merged shard
+// artifacts. Table 3 is computed over the non-replacement runs (the
+// Table 3 benchmark set); Fig. 11 covers every run.
+func BuildReport(o Options, runs []*BenchmarkRun) (*Report, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	t1, err := RunTable1Opts(o)
+	if err != nil {
+		return nil, err
+	}
+	t4, err := RunTable4Opts(o)
+	if err != nil {
+		return nil, err
+	}
+	var table3Runs []*BenchmarkRun
+	for _, run := range runs {
+		if run.Variant == workload.NoReplacement {
+			table3Runs = append(table3Runs, run)
+		}
+	}
+	figA, figB := Fig11FromRuns(runs)
+	cfg := o.BaseConfig()
+	return &Report{
+		SchemaVersion: ReportSchemaVersion,
+		Cores:         cfg.Cores,
+		Scale:         normalizedScale(o.Scale),
+		Seed:          o.Seed,
+		Table1:        t1,
+		Table1Matches: CheckTable1Matches(t1) == nil,
+		Table2:        cfg.Table2(),
+		Table3:        Table3FromRuns(table3Runs),
+		Table4:        t4,
+		Fig11a:        figA,
+		Fig11b:        figB,
+		Summary:       Summarize(figA, figB),
+	}, nil
+}
+
+// normalizedScale maps the "unset" scale spellings (zero and negative,
+// which the generator treats as no scaling) to the canonical 1, matching
+// the cache-key normalization so a report and its units agree.
+func normalizedScale(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// Encoder renders a Report to a writer in one output format. Encodings
+// are deterministic: equal reports produce byte-identical output.
+type Encoder interface {
+	Encode(w io.Writer, r *Report) error
+}
+
+// Output format names accepted by NewEncoder (and the binaries' -format
+// flag).
+const (
+	FormatASCII = "ascii"
+	FormatJSON  = "json"
+	FormatCSV   = "csv"
+)
+
+// Formats lists the supported report output formats.
+func Formats() []string { return []string{FormatASCII, FormatJSON, FormatCSV} }
+
+// NewEncoder returns the encoder for a format name.
+func NewEncoder(format string) (Encoder, error) {
+	switch format {
+	case FormatASCII:
+		return ASCIIEncoder{}, nil
+	case FormatJSON:
+		return JSONEncoder{}, nil
+	case FormatCSV:
+		return CSVEncoder{}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown report format %q (want ascii, json or csv)", format)
+}

@@ -8,25 +8,24 @@ import (
 	"repro/internal/cpp11"
 	"repro/internal/litmus"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // Table1Row is one row of the paper's Table 1: the synchronization idioms
 // one atomicity type supports.
 type Table1Row struct {
-	Atomicity core.AtomicityType
+	Atomicity core.AtomicityType `json:"atomicity"`
 	// DekkerReads: Dekker's with reads replaced by RMWs works.
-	DekkerReads bool
+	DekkerReads bool `json:"dekker_reads"`
 	// DekkerWrites: Dekker's with writes replaced by RMWs works.
-	DekkerWrites bool
+	DekkerWrites bool `json:"dekker_writes"`
 	// RMWAsBarrier: an RMW to an unrelated address orders like mfence.
-	RMWAsBarrier bool
+	RMWAsBarrier bool `json:"rmw_as_barrier"`
 	// CppReadReplacement: C/C++11 is implementable by mapping SC-atomic
 	// reads to RMWs.
-	CppReadReplacement bool
+	CppReadReplacement bool `json:"cpp_read_replacement"`
 	// CppWriteReplacement: C/C++11 is implementable by mapping SC-atomic
 	// writes to RMWs.
-	CppWriteReplacement bool
+	CppWriteReplacement bool `json:"cpp_write_replacement"`
 }
 
 // RunTable1 regenerates Table 1 by model checking the paper's litmus tests
@@ -99,44 +98,30 @@ func Table1Expected() []Table1Row {
 	}
 }
 
-// RenderTable1 renders Table 1 rows in the paper's layout.
-func RenderTable1(rows []Table1Row) string {
-	t := stats.NewTable("Table 1: conventional RMW (type-1) vs proposed RMWs (type-2, type-3)",
-		"Atomicity", "Dekker reads->RMW", "Dekker writes->RMW", "RMW as barrier", "C++11 SC-reads->RMW", "C++11 SC-writes->RMW")
-	for _, r := range rows {
-		t.AddRow(r.Atomicity.String(),
-			stats.Mark(r.DekkerReads), stats.Mark(r.DekkerWrites), stats.Mark(r.RMWAsBarrier),
-			stats.Mark(r.CppReadReplacement), stats.Mark(r.CppWriteReplacement))
-	}
-	return t.Render()
-}
+// RenderTable1 renders Table 1 rows in the paper's layout; it is a thin
+// wrapper over the Report model's ASCII section renderer.
+func RenderTable1(rows []Table1Row) string { return asciiTable1(rows) }
 
 // RenderTable2 renders the architectural parameters (Table 2).
-func RenderTable2(cfg sim.Config) string {
-	t := stats.NewTable("Table 2: architectural parameters", "Component", "Configuration")
-	for _, row := range cfg.Table2() {
-		t.AddRow(row[0], row[1])
-	}
-	return t.Render()
-}
+func RenderTable2(cfg sim.Config) string { return asciiTable2(cfg.Table2()) }
 
 // Table3Row is one row of Table 3: per-benchmark characteristics.
 type Table3Row struct {
-	Name  string
-	Suite string
-	Size  string
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+	Size  string `json:"size"`
 	// RMWsPer1000 is the measured RMW density; PaperRMWsPer1000 is the
 	// value the paper reports.
-	RMWsPer1000      float64
-	PaperRMWsPer1000 float64
+	RMWsPer1000      float64 `json:"rmws_per_1000"`
+	PaperRMWsPer1000 float64 `json:"paper_rmws_per_1000"`
 	// UniquePct is the measured fraction of RMWs to unique lines.
-	UniquePct      float64
-	PaperUniquePct float64
+	UniquePct      float64 `json:"unique_pct"`
+	PaperUniquePct float64 `json:"paper_unique_pct"`
 	// DrainPct is the measured fraction of type-2/3 RMWs that reverted to
 	// a write-buffer drain.
-	DrainPct float64
+	DrainPct float64 `json:"drain_pct"`
 	// BroadcastsPer100 is the measured addr-list broadcast rate.
-	BroadcastsPer100 float64
+	BroadcastsPer100 float64 `json:"broadcasts_per_100"`
 }
 
 // Table3FromRuns derives Table 3 from the benchmark runs: the density and
@@ -161,33 +146,21 @@ func Table3FromRuns(runs []*BenchmarkRun) []Table3Row {
 	return rows
 }
 
-// RenderTable3 renders Table 3 rows, including the paper's reference values
-// for the structural columns.
-func RenderTable3(rows []Table3Row) string {
-	t := stats.NewTable("Table 3: benchmark characteristics (measured vs paper)",
-		"Code", "Suite", "Problem size",
-		"RMWs/1000 memops", "(paper)",
-		"% unique RMWs", "(paper)",
-		"% WB drains type-2/3", "RMW broadcasts/100")
-	for _, r := range rows {
-		t.AddRow(r.Name, r.Suite, r.Size,
-			stats.F2(r.RMWsPer1000), stats.F2(r.PaperRMWsPer1000),
-			stats.F2(r.UniquePct), stats.F2(r.PaperUniquePct),
-			stats.F2(r.DrainPct), stats.F2(r.BroadcastsPer100))
-	}
-	return t.Render()
-}
+// RenderTable3 renders Table 3 rows, including the paper's reference
+// values for the structural columns; a thin wrapper over the Report
+// model's ASCII section renderer.
+func RenderTable3(rows []Table3Row) string { return asciiTable3(rows) }
 
 // Table4Row is one row of the Table 4 mapping validation: which mappings
 // are sound under which RMW type, checked on the SC store-buffering
 // program.
 type Table4Row struct {
-	Mapping   cpp11.Mapping
-	Atomicity core.AtomicityType
-	Sound     bool
+	Mapping   cpp11.Mapping      `json:"mapping"`
+	Atomicity core.AtomicityType `json:"atomicity"`
+	Sound     bool               `json:"sound"`
 	// Counterexample is the first forbidden outcome that the compiled
 	// program allows, for unsound combinations.
-	Counterexample string
+	Counterexample string `json:"counterexample,omitempty"`
 }
 
 // RunTable4 validates every Table 4 mapping under every RMW type.
@@ -221,27 +194,9 @@ func RunTable4Opts(o Options) ([]Table4Row, error) {
 }
 
 // RenderTable4 renders the mapping-validation matrix together with the
-// instruction selection of each mapping.
-func RenderTable4(rows []Table4Row) string {
-	sel := stats.NewTable("Table 4: mapping from C/C++11 to x86",
-		"Mapping", "SC read", "SC write", "non-SC read", "non-SC write")
-	for _, m := range cpp11.AllMappings() {
-		scRead, scWrite := "mov", "mov"
-		if m.MapsSCLoadToRMW() {
-			scRead = "lock xadd(0)"
-		}
-		if m.MapsSCStoreToRMW() {
-			scWrite = "lock xchg"
-		}
-		sel.AddRow(m.String(), scRead, scWrite, "mov", "mov")
-	}
-	val := stats.NewTable("Mapping soundness per RMW atomicity type (SC store buffering)",
-		"Mapping", "Atomicity", "Sound", "Counterexample")
-	for _, r := range rows {
-		val.AddRow(r.Mapping.String(), r.Atomicity.String(), stats.Mark(r.Sound), r.Counterexample)
-	}
-	return sel.Render() + "\n" + val.Render()
-}
+// instruction selection of each mapping; a thin wrapper over the Report
+// model's ASCII section renderer.
+func RenderTable4(rows []Table4Row) string { return asciiTable4(rows) }
 
 // CheckTable1Matches compares generated Table 1 rows against the paper's
 // and returns an error describing the first mismatch, if any.

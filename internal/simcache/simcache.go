@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -95,6 +96,20 @@ func (k Key) Canonical() string {
 func (k Key) Digest() string {
 	sum := sha256.Sum256([]byte(k.Canonical()))
 	return hex.EncodeToString(sum[:])
+}
+
+// UnitIDLen is the length of a UnitID: a 16-hex-digit (64-bit) prefix of
+// the key digest — short enough to read in shard listings, long enough
+// that plan-sized unit sets (tens to thousands of units) never collide in
+// practice. Plan construction still verifies uniqueness explicitly.
+const UnitIDLen = 16
+
+// UnitID returns the short, stable identifier of the work unit the key
+// addresses: the first UnitIDLen hex digits of the content digest. Two
+// runs with equal inputs share a UnitID on every machine and at every
+// shard count, which is what lets sweep shards merge by identity.
+func (k Key) UnitID() string {
+	return k.Digest()[:UnitIDLen]
 }
 
 // workloadIdentifier is implemented by trace sources (workload.Source)
@@ -438,25 +453,12 @@ func (c *Cache) Put(k Key, payload any) error {
 	return nil
 }
 
-// writeFile writes entry bytes to the disk tier atomically, so concurrent
-// readers only ever observe complete entries.
+// writeFile writes entry bytes to the disk tier atomically (through the
+// shared write-temp-then-rename helper), so concurrent readers only ever
+// observe complete entries.
 func (c *Cache) writeFile(digest string, data []byte) error {
-	tmp, err := os.CreateTemp(c.dir, ".tmp-"+digest+"-*")
-	if err != nil {
-		return fmt.Errorf("simcache: creating temp entry: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("simcache: writing entry: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("simcache: closing entry: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path(digest)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("simcache: publishing entry: %w", err)
+	if err := atomicio.WriteFile(c.path(digest), data); err != nil {
+		return fmt.Errorf("simcache: %w", err)
 	}
 	return nil
 }

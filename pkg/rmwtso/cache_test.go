@@ -182,7 +182,7 @@ func TestLitmusVerdictCache(t *testing.T) {
 	}
 	// And the rendered report — what the litmus binary prints — must be
 	// identical modulo the hit flag (which the report does not show).
-	if rmwtso.Report(cold) != rmwtso.Report(warm) {
+	if rmwtso.RenderLitmusResults(cold) != rmwtso.RenderLitmusResults(warm) {
 		t.Errorf("cached report rendering differs")
 	}
 }

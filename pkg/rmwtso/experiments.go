@@ -4,9 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/experiments"
-	"repro/internal/sim"
-	"repro/internal/simcache"
-	"repro/internal/workload"
 )
 
 // deadlockError reports a benchmark run that wedged; experiment sweeps
@@ -129,149 +126,33 @@ func (r *Runner) specTypes(s BenchmarkSpec) []AtomicityType {
 // intersected with the Runner's configured types (WithRMWTypes); specs
 // left with no types are dropped.
 //
-// By default every simulation unit pulls its trace lazily from the
-// workload generator (Generator.Source), so peak memory per unit is
-// bounded by the per-core episode window no matter how large
-// Options.Scale makes the workloads. With Options.Materialize each spec's
-// trace is instead generated once up front (in parallel) and shared
-// read-only by its per-type runs — trading memory for not regenerating
-// ops per type. Both paths produce identical results; results come back
-// in spec order with one ByType entry per simulated type.
-//
-// With a result cache — the Runner's (WithCache) or, failing that, the
-// options' (Options.Cache / Options.CacheDir) — every (spec, type) unit
-// is looked up before simulating and stored after: hits stream to the
-// observer flagged CacheHit without executing the simulator, so a fully
-// warm sweep does zero simulation work yet returns identical runs.
+// It is a thin wrapper over the plan pipeline: the (spec, type) grid is
+// enumerated into a Plan of content-addressed units, executed unsharded
+// with RunPlan (lazy streaming by default, Options.Materialize to share
+// pre-built traces per spec, the Runner's or options' result cache
+// consulted per unit and hits streamed flagged CacheHit) and reassembled
+// with Plan.Runs — so an in-process sweep and a sharded fleet run through
+// one code path and produce identical results. Results come back in spec
+// order with one ByType entry per simulated type.
 func (r *Runner) RunBenchmarks(o Options, specs []BenchmarkSpec) ([]*BenchmarkRun, error) {
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	cache := r.opts.cache
-	if cache == nil {
-		var err error
-		if cache, err = o.ResultCache(); err != nil {
-			return nil, err
-		}
-	}
-	base := o.BaseConfig()
 	kept := make([]BenchmarkSpec, 0, len(specs))
-	types := make([][]AtomicityType, 0, len(specs))
 	for _, s := range specs {
 		ts := r.specTypes(s)
 		if len(ts) == 0 {
 			continue
 		}
+		s.Types = ts
 		kept = append(kept, s)
-		types = append(types, ts)
 	}
-
-	// Phase 1: build each spec's trace source. Sources are cheap (no ops
-	// are generated yet); with Materialize they are drained into shared
-	// slices here, one unit per spec — unless every per-type run of the
-	// spec is already cached, in which case the warm run skips trace
-	// generation entirely (a corrupt entry just falls back to the lazy
-	// source, which is byte-identical). The generator's core count comes
-	// from the effective configuration so a count supplied only through
-	// Options.Config still shapes the workload. Cache keys always derive
-	// from the raw workload source (keySrcs), never the materialized
-	// adapter, so streamed and materialized runs share entries.
-	sources := make([]TraceSource, len(kept))
-	keySrcs := make([]TraceSource, len(kept))
-	keys := make([][]simcache.Key, len(kept))
-	err := r.runUnits(len(kept), func(i int) error {
-		gen := workload.Generator{Cores: base.Cores, Seed: o.Seed, Replacement: kept[i].Variant}
-		src, err := gen.Source(o.ScaledProfile(kept[i].Profile))
-		if err != nil {
-			return err
-		}
-		keySrcs[i] = src
-		keys[i] = make([]simcache.Key, len(types[i]))
-		cached := cache != nil
-		for ti, typ := range types[i] {
-			cfg := base.WithRMWType(typ)
-			// Validate before digesting so an invalid configuration
-			// never mints a cache key.
-			if err := cfg.Validate(); err != nil {
-				return err
-			}
-			keys[i][ti] = simcache.SimKey(cfg, src, o.Seed, o.Scale)
-			if cached && !cache.Has(keys[i][ti]) {
-				cached = false
-			}
-		}
-		if o.Materialize && !cached {
-			sources[i] = sim.Materialize(src).Source()
-		} else {
-			sources[i] = src
-		}
-		return nil
-	})
+	plan, err := BuildPlan(o, kept)
 	if err != nil {
 		return nil, err
 	}
-
-	// Phase 2: simulate, one unit per (spec, type) pair. Units share a
-	// spec's source; each run pulls its own fresh streams from it.
-	type unit struct {
-		si, ti int
-		typ    AtomicityType
-	}
-	var units []unit
-	for si := range kept {
-		for ti, typ := range types[si] {
-			units = append(units, unit{si, ti, typ})
-		}
-	}
-	results := make([]*SimResult, len(units))
-	err = r.runUnits(len(units), func(i int) error {
-		u := units[i]
-		key := keys[u.si][u.ti]
-		if cache != nil {
-			if res, ok := cache.GetSim(key); ok {
-				// Warm runs must reject a deadlocked result exactly like
-				// cold runs do (such entries are never stored here, but a
-				// foreign writer could have).
-				if res.Deadlocked {
-					return deadlockError(sources[u.si].Name(), u.typ)
-				}
-				results[i] = res
-				r.emit(Event{Sim: &SimRun{Trace: sources[u.si].Name(), Type: u.typ, Result: res, CacheHit: true}})
-				return nil
-			}
-		}
-		res, err := SimulateSource(base.WithRMWType(u.typ), sources[u.si])
-		if err != nil {
-			return err
-		}
-		if res.Deadlocked {
-			return deadlockError(sources[u.si].Name(), u.typ)
-		}
-		if cache != nil {
-			_ = cache.PutSim(key, res)
-		}
-		results[i] = res
-		r.emit(Event{Sim: &SimRun{Trace: sources[u.si].Name(), Type: u.typ, Result: res}})
-		return nil
-	})
+	shardRun, err := r.RunPlan(nil, plan, FullShard())
 	if err != nil {
 		return nil, err
 	}
-
-	// Assemble in spec order.
-	runs := make([]*BenchmarkRun, len(kept))
-	for si, s := range kept {
-		runs[si] = &BenchmarkRun{
-			Profile: s.Profile,
-			Variant: s.Variant,
-			Name:    sources[si].Name(),
-			ByType:  map[AtomicityType]*SimResult{},
-		}
-	}
-	for i, u := range units {
-		runs[u.si].ByType[u.typ] = results[i]
-	}
-	return runs, nil
+	return plan.Runs(shardRun.Units)
 }
 
 // RunTable3Benchmarks simulates the Table 3 benchmark set across the

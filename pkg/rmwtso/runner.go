@@ -35,6 +35,12 @@ func ChannelObserver(ch chan<- Event) Observer {
 
 // SimRun is one simulator run of a sweep: one trace under one RMW type.
 type SimRun struct {
+	// Unit is the run's stable plan-unit identifier (derived from the
+	// content-addressed cache key), so streamed progress events correlate
+	// with Plan entries without reconstructing the (trace, type, seed)
+	// tuple. It is empty for runs outside the unit model (SweepTraces and
+	// uncacheable SweepSource runs, whose key material is unknown).
+	Unit UnitID
 	// Trace is the name of the simulated trace.
 	Trace string
 	// Type is the RMW atomicity type the run used.
@@ -152,12 +158,18 @@ func (r *Runner) emit(e Event) {
 	r.opts.observer(e)
 }
 
-// runUnits executes run(0..n-1) on the worker pool. It returns the
-// context's error if cancelled, otherwise the first unit error. Units are
-// claimed in order but finish in any order; each unit writes only its own
-// result slot, so aggregates stay deterministic.
+// runUnits executes run(0..n-1) on the worker pool under the Runner's
+// own context. It returns the context's error if cancelled, otherwise the
+// first unit error. Units are claimed in order but finish in any order;
+// each unit writes only its own result slot, so aggregates stay
+// deterministic.
 func (r *Runner) runUnits(n int, run func(int) error) error {
-	ctx := r.opts.ctx
+	return r.runUnitsCtx(r.opts.ctx, n, run)
+}
+
+// runUnitsCtx is runUnits under an explicit context (RunPlan accepts a
+// per-call context on top of the Runner's).
+func (r *Runner) runUnitsCtx(ctx context.Context, n int, run func(int) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -226,12 +238,35 @@ func (r *Runner) runUnits(n int, run func(int) error) error {
 // the observer immediately. The returned slice is ordered (test, type)
 // regardless of parallelism or completion order.
 func (r *Runner) CheckTests(tests ...*Test) ([]TestResult, error) {
+	return r.CheckTestsSharded(FullShard(), tests...)
+}
+
+// CheckTestsSharded is CheckTests restricted to the verdict units a
+// shard selects, so a fleet can split one suite across processes exactly
+// like a simulation plan: the (test, type) grid is enumerated in
+// deterministic order, each unit's stable ID is the UnitID of its
+// content-addressed verdict key, and the round-robin selector (or unit-ID
+// predicate) keeps a deterministic subset. The returned slice holds only
+// the selected units, still in (test, type) order, and every result
+// carries its unit ID for correlation.
+func (r *Runner) CheckTestsSharded(shard Shard, tests ...*Test) ([]TestResult, error) {
+	if err := shard.Validate(); err != nil {
+		return nil, err
+	}
 	types := r.opts.types
-	type unit struct{ ti, yi int }
+	type unit struct {
+		ti, yi int
+		id     UnitID
+	}
 	units := make([]unit, 0, len(tests)*len(types))
+	pos := 0
 	for ti := range tests {
 		for yi := range types {
-			units = append(units, unit{ti, yi})
+			id := UnitID(LitmusCacheKey(tests[ti], types[yi]).UnitID())
+			if shard.Covers(pos, id) {
+				units = append(units, unit{ti, yi, id})
+			}
+			pos++
 		}
 	}
 	results := make([]TestResult, len(units))
@@ -239,6 +274,7 @@ func (r *Runner) CheckTests(tests ...*Test) ([]TestResult, error) {
 		u := units[i]
 		if r.opts.cache != nil {
 			if res, ok := cachedVerdict(r.opts.cache, tests[u.ti], types[u.yi]); ok {
+				res.Unit = string(u.id)
 				results[i] = res
 				r.emit(Event{Litmus: &results[i]})
 				return nil
@@ -251,6 +287,7 @@ func (r *Runner) CheckTests(tests ...*Test) ([]TestResult, error) {
 		if r.opts.cache != nil {
 			storeVerdict(r.opts.cache, res)
 		}
+		res.Unit = string(u.id)
 		results[i] = res
 		r.emit(Event{Litmus: &results[i]})
 		return nil
@@ -350,12 +387,19 @@ func (r *Runner) sweepSource(cfg SimConfig, src TraceSource, meta *sweepKeyMeta)
 			return err
 		}
 		var key simcache.Key
-		if cache != nil {
+		var unit UnitID
+		if meta != nil {
+			// The unit identity exists whenever the key material does,
+			// cache or no cache, so observers can correlate events with a
+			// plan built from the same inputs.
 			key = simcache.SimKey(run, src, meta.seed, meta.scale)
+			unit = UnitID(key.UnitID())
+		}
+		if cache != nil {
 			// Deadlocked entries are never stored, but a foreign one is
 			// also never served: deadlocks always re-execute.
 			if res, ok := cache.GetSim(key); ok && !res.Deadlocked {
-				runs[i] = SimRun{Trace: src.Name(), Type: types[i], Result: res, CacheHit: true}
+				runs[i] = SimRun{Unit: unit, Trace: src.Name(), Type: types[i], Result: res, CacheHit: true}
 				r.emit(Event{Sim: &runs[i]})
 				return nil
 			}
@@ -371,7 +415,7 @@ func (r *Runner) sweepSource(cfg SimConfig, src TraceSource, meta *sweepKeyMeta)
 		if cache != nil && !res.Deadlocked {
 			_ = cache.PutSim(key, res)
 		}
-		runs[i] = SimRun{Trace: src.Name(), Type: types[i], Result: res}
+		runs[i] = SimRun{Unit: unit, Trace: src.Name(), Type: types[i], Result: res}
 		r.emit(Event{Sim: &runs[i]})
 		return nil
 	})

@@ -56,9 +56,10 @@ func ParseTest(src string) (*Test, error) { return litmus.Parse(src) }
 // FormatTest renders a test in the litmus textual format.
 func FormatTest(t *Test) string { return litmus.Format(t) }
 
-// Report renders litmus results as a fixed-width table sorted by test
-// name then atomicity type.
-func Report(results []TestResult) string { return litmus.Report(results) }
+// RenderLitmusResults renders litmus results as a fixed-width table
+// sorted by test name then atomicity type. (Renamed from Report, which
+// now names the evaluation report model.)
+func RenderLitmusResults(results []TestResult) string { return litmus.Report(results) }
 
 // SuiteView is a filterable selection of registered litmus tests. Views
 // are built by Suite, PaperSuite, ClassicSuite or TestsOf, narrowed with
@@ -138,8 +139,17 @@ func (v *SuiteView) Err() error { return v.err }
 // pool, streamed to the observer as it completes. Results come back in
 // deterministic (test, type) order regardless of parallelism.
 func (v *SuiteView) Run(opts ...Option) ([]TestResult, error) {
+	return v.RunShard(FullShard(), opts...)
+}
+
+// RunShard is Run restricted to the verdict units the shard selects, so
+// a fleet can split one suite across processes: the (test, type) grid and
+// its unit IDs are deterministic, and the round-robin selector keeps a
+// disjoint, collectively exhaustive subset per process. Results carry
+// their unit IDs for correlation.
+func (v *SuiteView) RunShard(shard Shard, opts ...Option) ([]TestResult, error) {
 	if v.err != nil {
 		return nil, v.err
 	}
-	return NewRunner(opts...).CheckTests(v.tests...)
+	return NewRunner(opts...).CheckTestsSharded(shard, v.tests...)
 }

@@ -23,6 +23,23 @@
 //	experiments -quick -merge -format ascii s0.json s1.json s2.json
 //	                                            merge shard artifacts into the full report
 //
+// Dynamically coordinated sweeps (pull queue instead of a static split):
+//
+//	experiments -quick -coordinate 4 -format json    in-process: 4 pull workers share the queue
+//	experiments -quick -serve-coordinator :7077      serve the plan's units to HTTP workers,
+//	                                                 emit the report when the fleet drains it
+//	experiments -quick -worker http://host:7077      pull and simulate units until drained
+//
+// The coordinator hands out one unit at a time under heartbeat-kept
+// leases: a crashed worker's lease expires and its unit is requeued, a
+// repeatedly failing unit is retried with backoff and then dead-lettered
+// (the report gains a dead-letter section and the exit status is 1), and
+// a completed coordinated sweep's result tables are byte-identical to an
+// unsharded run's. Workers rebuild the identical plan from the same
+// flags; the plan-fingerprint handshake refuses a mismatched worker.
+// -lease-ttl and -max-attempts tune the lease state machine; -fail-unit
+// and -crash-after inject faults for drills and CI.
+//
 // The sweep is a deterministic plan of content-addressed units (one
 // benchmark × RMW type × seed simulation each), so any process that
 // builds the plan from the same flags agrees on unit identities: run
@@ -50,10 +67,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"strings"
+	"sync/atomic"
 	"text/tabwriter"
+	"time"
 
 	"repro/pkg/rmwtso"
 )
@@ -80,6 +104,15 @@ func main() {
 		merge    = flag.Bool("merge", false, "merge the shard artifact files given as arguments into the full report")
 		format   = flag.String("format", "", "emit the full report in this format: ascii, json or csv")
 		listU    = flag.Bool("list-units", false, "print the sweep plan (unit IDs, traces, types, seeds) and exit")
+
+		coordN     = flag.Int("coordinate", 0, "run the sweep through an in-process pull queue with this many workers")
+		serveArg   = flag.String("serve-coordinator", "", "serve the sweep's units to HTTP workers on this address (host:port), emit the report once drained")
+		workerArg  = flag.String("worker", "", "pull and simulate units from the coordinator at this URL (http://host:port) until drained")
+		workerName = flag.String("worker-name", "", "name this worker reports to the coordinator (default worker-<host>-<pid>)")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "coordination: lease time-to-live before a silent worker's unit is requeued (default 15s)")
+		maxAtt     = flag.Int("max-attempts", 0, "coordination: attempts per unit before it is dead-lettered (default 3)")
+		failUnit   = flag.String("fail-unit", "", "fault injection: comma-separated unit IDs that permanently fail every attempt")
+		crashAfter = flag.Int("crash-after", -1, "fault injection: crash the worker (in-process: worker-0) after executing this many units")
 	)
 	flag.Parse()
 
@@ -98,6 +131,44 @@ func main() {
 	}
 	if *par < 0 {
 		fatalUsage(fmt.Errorf("-j must be non-negative, got %d", *par))
+	}
+
+	// Coordination modes are mutually exclusive roles of the same sweep.
+	coordModes := 0
+	for _, on := range []bool{*coordN > 0, *serveArg != "", *workerArg != ""} {
+		if on {
+			coordModes++
+		}
+	}
+	if coordModes > 1 {
+		fatalUsage(fmt.Errorf("-coordinate, -serve-coordinator and -worker are mutually exclusive roles"))
+	}
+	if *coordN < 0 || (*coordN == 0 && flagWasSet("coordinate")) {
+		fatalUsage(fmt.Errorf("-coordinate needs a positive worker count, got %d", *coordN))
+	}
+	if *leaseTTL < 0 || (*leaseTTL == 0 && flagWasSet("lease-ttl")) {
+		fatalUsage(fmt.Errorf("-lease-ttl must be positive, got %v", *leaseTTL))
+	}
+	if *maxAtt < 0 || (*maxAtt == 0 && flagWasSet("max-attempts")) {
+		fatalUsage(fmt.Errorf("-max-attempts must be positive, got %d", *maxAtt))
+	}
+	if coordModes == 0 && (*failUnit != "" || *crashAfter >= 0 || flagWasSet("lease-ttl") || flagWasSet("max-attempts") || *workerName != "") {
+		fatalUsage(fmt.Errorf("-lease-ttl/-max-attempts/-fail-unit/-crash-after/-worker-name only apply to coordinated sweeps (-coordinate, -serve-coordinator or -worker)"))
+	}
+	if *serveArg != "" && (*failUnit != "" || *crashAfter >= 0) {
+		fatalUsage(fmt.Errorf("faults are injected where units execute; pass -fail-unit/-crash-after to -coordinate or to -worker processes"))
+	}
+	if *workerName != "" && *workerArg == "" {
+		fatalUsage(fmt.Errorf("-worker-name only applies with -worker"))
+	}
+	if *workerArg != "" && (*listU || *merge || *shardArg != "" || *format != "" || *outPath != "") {
+		fatalUsage(fmt.Errorf("-worker pulls units from its coordinator and emits nothing; it cannot combine with -list-units/-shard/-merge/-format/-out"))
+	}
+	if *serveArg != "" && (*listU || *merge || *shardArg != "") {
+		fatalUsage(fmt.Errorf("-serve-coordinator coordinates the whole plan and emits the full report; it cannot combine with -list-units/-shard/-merge"))
+	}
+	if *coordN > 0 && (*listU || *merge) {
+		fatalUsage(fmt.Errorf("-coordinate runs the sweep and cannot combine with -list-units/-merge"))
 	}
 
 	opts := rmwtso.DefaultOptions()
@@ -122,9 +193,25 @@ func main() {
 	check(err)
 	opts.Cache = cache
 
+	// Coordinated roles share the sweep Runner; the configuration is the
+	// same on every side so the plan fingerprints agree.
+	var coordOpts []rmwtso.Option
+	if coordModes > 0 {
+		crashWorker := "" // -worker: the process has exactly one worker
+		if *coordN > 0 {
+			crashWorker = "worker-0" // keep the in-process sweep able to finish
+		}
+		coordOpts = append(coordOpts, rmwtso.WithCoordinator(rmwtso.CoordinationConfig{
+			Workers:       *coordN,
+			LeaseTTL:      *leaseTTL,
+			MaxAttempts:   *maxAtt,
+			FaultInjector: buildFaultInjector(*failUnit, *crashAfter, crashWorker),
+		}))
+	}
+
 	// The plan pipeline: every mode below agrees on unit identities
 	// because each rebuilds the same deterministic plan from the flags.
-	planMode := *listU || *shardArg != "" || *merge || *format != ""
+	planMode := *listU || *shardArg != "" || *merge || *format != "" || coordModes > 0
 	if *outPath != "" && *shardArg == "" {
 		fatalUsage(fmt.Errorf("-out only applies with -shard"))
 	}
@@ -143,6 +230,43 @@ func main() {
 			listUnits(plan)
 			return
 
+		case *workerArg != "":
+			name := *workerName
+			if name == "" {
+				host, _ := os.Hostname()
+				if host == "" {
+					host = "local"
+				}
+				name = fmt.Sprintf("worker-%s-%d", host, os.Getpid())
+			}
+			err := newRunner(*par, cache, *progress, coordOpts...).RunPlanWorker(nil, plan, *workerArg, name)
+			if errors.Is(err, rmwtso.ErrInjectedCrash) {
+				fmt.Fprintf(os.Stderr, "experiments: worker %s: injected crash (-crash-after %d); lease left to expire\n", name, *crashAfter)
+				os.Exit(3)
+			}
+			check(err)
+			fmt.Fprintf(os.Stderr, "experiments: worker %s: queue drained\n", name)
+			reportCache(cache)
+			return
+
+		case *serveArg != "":
+			srv, err := newRunner(*par, cache, *progress, coordOpts...).NewCoordServer(plan, rmwtso.FullShard())
+			check(err)
+			ln, err := net.Listen("tcp", *serveArg)
+			check(err)
+			hs := &http.Server{Handler: srv.Handler()}
+			go func() { _ = hs.Serve(ln) }()
+			fmt.Fprintf(os.Stderr, "experiments: coordinating %d units on %s (plan %s)\n",
+				plan.Len(), ln.Addr(), plan.Fingerprint())
+			res, err := srv.Wait(context.Background())
+			// Linger past the workers' poll interval so every worker sees
+			// the drained queue and exits cleanly before the server does.
+			time.Sleep(1500 * time.Millisecond)
+			_ = hs.Close()
+			emitCoordinated(opts, plan, res, err, *format)
+			reportCache(cache)
+			return
+
 		case *shardArg != "":
 			if *merge {
 				fatalUsage(fmt.Errorf("-shard runs a sweep subset and cannot be combined with -merge"))
@@ -155,7 +279,15 @@ func main() {
 			}
 			shard, err := rmwtso.ParseShard(*shardArg)
 			check(err)
-			res, err := newRunner(*par, cache, *progress).RunPlan(nil, plan, shard)
+			res, err := newRunner(*par, cache, *progress, coordOpts...).RunPlan(nil, plan, shard)
+			var dle *rmwtso.DeadLetterError
+			if errors.As(err, &dle) {
+				// A shard artifact with holes would only fail the merge
+				// later; fail here, where the dead letters are known.
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				fmt.Fprintln(os.Stderr, "experiments: no artifact written: a shard with dead-lettered units cannot merge")
+				os.Exit(1)
+			}
 			check(err)
 			check(res.WriteFile(*outPath))
 			hits := 0
@@ -175,15 +307,12 @@ func main() {
 			}
 			runs, err := rmwtso.MergeShardFiles(plan, flag.Args()...)
 			check(err)
-			emitReport(opts, runs, *format)
+			emitReport(opts, runs, *format, nil)
 			return
 
-		default: // -format without -shard/-merge: unsharded full report.
-			res, err := newRunner(*par, cache, *progress).RunPlan(nil, plan, rmwtso.FullShard())
-			check(err)
-			runs, err := plan.Runs(res.Units)
-			check(err)
-			emitReport(opts, runs, *format)
+		default: // -format/-coordinate without -shard/-merge: unsharded full report.
+			res, err := newRunner(*par, cache, *progress, coordOpts...).RunPlan(nil, plan, rmwtso.FullShard())
+			emitCoordinated(opts, plan, res, err, *format)
 			reportCache(cache)
 			return
 		}
@@ -250,8 +379,9 @@ func main() {
 	reportCache(cache)
 }
 
-// newRunner builds the sweep Runner shared by the legacy and plan modes.
-func newRunner(par int, cache *rmwtso.Cache, progress bool) *rmwtso.Runner {
+// newRunner builds the sweep Runner shared by the legacy, plan and
+// coordinated modes.
+func newRunner(par int, cache *rmwtso.Cache, progress bool, extra ...rmwtso.Option) *rmwtso.Runner {
 	runnerOpts := []rmwtso.Option{}
 	if par > 0 {
 		runnerOpts = append(runnerOpts, rmwtso.WithParallelism(par))
@@ -261,18 +391,83 @@ func newRunner(par int, cache *rmwtso.Cache, progress bool) *rmwtso.Runner {
 	}
 	if progress {
 		runnerOpts = append(runnerOpts, rmwtso.WithObserver(func(e rmwtso.Event) {
-			if e.Sim == nil {
-				return
+			switch {
+			case e.Sim != nil:
+				verb := "done"
+				if e.Sim.CacheHit {
+					verb = "cached"
+				}
+				fmt.Fprintf(os.Stderr, "  %s: %s: %s under %s (%d cycles)\n",
+					verb, e.Sim.Unit, e.Sim.Trace, e.Sim.Type, e.Sim.Result.Cycles)
+			case e.Coord != nil:
+				line := "  coord: " + e.Coord.Kind
+				if e.Coord.Unit != "" {
+					line += " " + string(e.Coord.Unit)
+				}
+				if e.Coord.Worker != "" {
+					line += " worker=" + e.Coord.Worker
+				}
+				if e.Coord.Attempt > 0 {
+					line += fmt.Sprintf(" attempt=%d", e.Coord.Attempt)
+				}
+				if e.Coord.Reason != "" {
+					line += " (" + e.Coord.Reason + ")"
+				}
+				fmt.Fprintln(os.Stderr, line)
 			}
-			verb := "done"
-			if e.Sim.CacheHit {
-				verb = "cached"
-			}
-			fmt.Fprintf(os.Stderr, "  %s: %s: %s under %s (%d cycles)\n",
-				verb, e.Sim.Unit, e.Sim.Trace, e.Sim.Type, e.Sim.Result.Cycles)
 		}))
 	}
-	return rmwtso.NewRunner(runnerOpts...)
+	return rmwtso.NewRunner(append(runnerOpts, extra...)...)
+}
+
+// buildFaultInjector compiles the -fail-unit/-crash-after flags into a
+// FaultInjector (nil when neither is set). crashWorker restricts
+// -crash-after to one worker name; empty applies it to any worker of the
+// process — which is exactly one in -worker mode.
+func buildFaultInjector(failUnits string, crashAfter int, crashWorker string) rmwtso.FaultInjector {
+	poisoned := map[rmwtso.UnitID]bool{}
+	for _, id := range strings.Split(failUnits, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			poisoned[rmwtso.UnitID(id)] = true
+		}
+	}
+	if len(poisoned) == 0 && crashAfter < 0 {
+		return nil
+	}
+	var executions atomic.Int64
+	return func(worker string, u rmwtso.Unit, attempt int) error {
+		if poisoned[u.ID] {
+			return fmt.Errorf("injected permanent failure (-fail-unit, attempt %d)", attempt)
+		}
+		if crashAfter >= 0 && (crashWorker == "" || worker == crashWorker) {
+			if executions.Add(1) > int64(crashAfter) {
+				return rmwtso.ErrInjectedCrash
+			}
+		}
+		return nil
+	}
+}
+
+// emitCoordinated finishes a sweep that may have run coordinated: a clean
+// result emits the full report (coordination section attached when the
+// sweep was dynamic), while dead-lettered units emit the partial report —
+// complete trace groups plus the dead-letter section — and exit 1 so CI
+// cannot mistake the sweep for a healthy one.
+func emitCoordinated(opts rmwtso.Options, plan *rmwtso.Plan, res *rmwtso.ShardResult, err error, format string) {
+	var dle *rmwtso.DeadLetterError
+	if errors.As(err, &dle) {
+		partial := dle.Partial
+		runs, missing, perr := plan.RunsPartial(partial.Units)
+		check(perr)
+		emitReport(opts, runs, format, partial.Coordination)
+		fmt.Fprintln(os.Stderr, "experiments:", dle)
+		fmt.Fprintf(os.Stderr, "experiments: %d units are missing from the tables above; see the dead-letter section\n", len(missing))
+		os.Exit(1)
+	}
+	check(err)
+	runs, err := plan.Runs(res.Units)
+	check(err)
+	emitReport(opts, runs, format, res.Coordination)
 }
 
 // listUnits prints the plan as a fixed-width listing so operators can
@@ -288,13 +483,15 @@ func listUnits(plan *rmwtso.Plan) {
 }
 
 // emitReport builds the full evaluation report from the runs and encodes
-// it on stdout ("" defaults to ascii).
-func emitReport(opts rmwtso.Options, runs []*rmwtso.BenchmarkRun, format string) {
+// it on stdout ("" defaults to ascii). A non-nil coord attaches the
+// coordination section; the result tables are unaffected either way.
+func emitReport(opts rmwtso.Options, runs []*rmwtso.BenchmarkRun, format string, coord *rmwtso.Coordination) {
 	if format == "" {
 		format = rmwtso.FormatASCII
 	}
 	report, err := rmwtso.BuildReport(opts, runs)
 	check(err)
+	report.Coordination = coord
 	check(rmwtso.EncodeReport(os.Stdout, report, format))
 }
 

@@ -1,0 +1,232 @@
+// Package coordinator distributes the units of a sweep to workers from a
+// pull queue instead of a static split. Where the round-robin Shard{i,n}
+// selector fixes each worker's units up front — wasting wall-clock on
+// uneven units and losing the whole sweep when a worker dies — the
+// coordinator hands out one unit at a time under a lease:
+//
+//   - a worker Leases the next ready task and must Heartbeat to keep it;
+//   - a lease whose deadline passes (worker crashed, hung, or partitioned)
+//     is expired and the task requeued for another worker;
+//   - a task whose execution fails is retried with jittered exponential
+//     backoff, up to a bounded attempt budget;
+//   - a task that exhausts its budget (a poisoned unit: repeated
+//     deadlocks, corrupt inputs) moves to the dead-letter set with its
+//     failure history, so one bad unit never wedges the sweep;
+//   - a finished task is Acked with an opaque result payload.
+//
+// The queue is drained when every task is either done or dead-lettered —
+// it never hangs on a lost worker — and a Snapshot reports per-worker
+// counts, retries, expiries and the dead letters for the sweep report.
+//
+// Two transports share the same Coordinator interface: the Queue itself
+// (in-process workers pulling from the same memory) and an HTTP
+// server/client pair speaking versioned JSON messages (Server, Dial), so
+// a sweep spans machines with the same crash-recovery semantics.
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Protocol and state-machine errors. Transports map these across the
+// wire losslessly (errors.Is works on both sides of an HTTP boundary).
+var (
+	// ErrDrained reports that every task is done or dead-lettered; workers
+	// receiving it from Lease should exit cleanly.
+	ErrDrained = errors.New("coordinator: queue drained")
+	// ErrLeaseLost reports an operation on a lease the queue no longer
+	// honours (expired and requeued, or already resolved). The worker's
+	// in-flight work is abandoned; another worker owns the task now.
+	ErrLeaseLost = errors.New("coordinator: lease lost")
+	// ErrUnknownWorker reports a lease operation from a worker name that
+	// does not hold the lease.
+	ErrUnknownWorker = errors.New("coordinator: lease held by another worker")
+	// ErrAbandon is returned by an Executor to simulate a worker crash in
+	// fault-injection tests and demos: the Worker stops heartbeating,
+	// abandons its lease without acking or nacking, and Run returns — the
+	// lease must expire before the task is requeued, exactly like a real
+	// worker death.
+	ErrAbandon = errors.New("coordinator: worker abandoned lease (injected crash)")
+)
+
+// Clock abstracts time for the queue so tests can run the lease state
+// machine against compressed timescales.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After fires once after d, like time.After.
+	After(d time.Duration) <-chan time.Time
+}
+
+// systemClock is the real-time Clock.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// SystemClock returns the real-time clock the queue uses by default.
+func SystemClock() Clock { return systemClock{} }
+
+// Config tunes a Queue's lease and retry state machine. The zero value
+// picks the defaults noted on each field.
+type Config struct {
+	// LeaseTTL is how long a granted or heartbeat-extended lease lives
+	// before the queue presumes the worker dead and requeues the task.
+	// Default 15s.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many times one task is handed out (the first
+	// grant is attempt 1) before it is dead-lettered. Default 3.
+	MaxAttempts int
+	// RetryBackoff is the base delay before a failed task may be leased
+	// again; attempt n waits RetryBackoff·2^(n-1), jittered into
+	// [50%, 100%] of that, capped at MaxBackoff. Default 250ms.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Default 5s.
+	MaxBackoff time.Duration
+	// Seed drives the backoff jitter deterministically. Default 1.
+	Seed int64
+	// Clock overrides the time source, for tests. Default SystemClock.
+	Clock Clock
+	// OnEvent, when non-nil, observes every state transition. It is
+	// called synchronously from the operation that caused the transition,
+	// never concurrently, and must not call back into the Queue.
+	OnEvent func(Event)
+}
+
+// withDefaults fills unset Config fields.
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Clock == nil {
+		c.Clock = SystemClock()
+	}
+	return c
+}
+
+// EventKind names a queue state transition.
+type EventKind string
+
+// The queue state transitions an Event can report.
+const (
+	// EventLease: a task was handed to a worker (Attempt is 1-based).
+	EventLease EventKind = "lease"
+	// EventAck: a worker completed its task.
+	EventAck EventKind = "ack"
+	// EventNack: a worker reported its attempt failed (Reason says why).
+	EventNack EventKind = "nack"
+	// EventExpire: a lease deadline passed without heartbeat; the attempt
+	// counts as failed with Reason "lease expired".
+	EventExpire EventKind = "expire"
+	// EventRequeue: a failed task went back to pending for a later retry.
+	EventRequeue EventKind = "requeue"
+	// EventDeadLetter: a task exhausted its attempt budget.
+	EventDeadLetter EventKind = "dead-letter"
+	// EventDrained: every task is done or dead-lettered.
+	EventDrained EventKind = "drained"
+)
+
+// Event is one queue state transition, for streaming progress.
+type Event struct {
+	// Kind is the transition.
+	Kind EventKind
+	// Task is the task ID (empty for EventDrained).
+	Task string
+	// Worker is the worker involved (empty for EventDrained and for
+	// transitions the queue makes on its own).
+	Worker string
+	// Attempt is the 1-based attempt the transition concerns.
+	Attempt int
+	// Reason carries the failure reason for nack/expire/requeue/dead-letter.
+	Reason string
+}
+
+// Lease is one granted task: the worker must Heartbeat before Deadline
+// (and keep doing so) or the queue requeues the task for someone else.
+type Lease struct {
+	// ID is the lease token every follow-up operation must present.
+	ID string `json:"id"`
+	// Task is the task being worked on.
+	Task string `json:"task"`
+	// Attempt is 1 for the first grant of the task, 2 for its first
+	// retry, and so on.
+	Attempt int `json:"attempt"`
+	// Deadline is when the lease expires without a heartbeat.
+	Deadline time.Time `json:"deadline"`
+}
+
+// Coordinator is the worker-facing surface of a queue, implemented both
+// by *Queue (in-process) and *Client (HTTP). All methods are safe for
+// concurrent use.
+type Coordinator interface {
+	// Lease blocks until a task is ready (returning its lease), the queue
+	// drains (ErrDrained) or ctx is cancelled.
+	Lease(ctx context.Context, worker string) (*Lease, error)
+	// Heartbeat extends the lease's deadline by the queue's LeaseTTL.
+	Heartbeat(ctx context.Context, worker, leaseID string) error
+	// Ack resolves the lease's task as done with its result payload.
+	Ack(ctx context.Context, worker, leaseID string, payload []byte) error
+	// Nack reports the attempt failed; the queue retries or dead-letters.
+	Nack(ctx context.Context, worker, leaseID, reason string) error
+}
+
+// WorkerStat aggregates one worker's traffic for the sweep report.
+type WorkerStat struct {
+	// Worker is the worker's self-reported name.
+	Worker string `json:"worker"`
+	// Leases counts tasks handed to the worker; Acks and Nacks count how
+	// its attempts resolved; Expired counts leases it lost to expiry.
+	Leases  int `json:"leases"`
+	Acks    int `json:"acks"`
+	Nacks   int `json:"nacks"`
+	Expired int `json:"expired"`
+}
+
+// DeadLetter is one task that exhausted its attempt budget, with its
+// full failure history in attempt order.
+type DeadLetter struct {
+	// Task is the dead-lettered task's ID.
+	Task string `json:"task"`
+	// Attempts is how many times it was handed out.
+	Attempts int `json:"attempts"`
+	// Reasons holds one failure reason per attempt, in order.
+	Reasons []string `json:"reasons"`
+}
+
+// Snapshot is a consistent view of the queue's progress, sortable and
+// serializable for reports. Workers are sorted by name, dead letters by
+// task ID.
+type Snapshot struct {
+	// Total, Pending, Leased, Done and Dead count tasks per state
+	// (Pending includes tasks waiting out a retry backoff).
+	Total   int `json:"total"`
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	Done    int `json:"done"`
+	Dead    int `json:"dead"`
+	// Retries counts requeues after a failed attempt (nack or expiry);
+	// Expired counts lease expiries specifically.
+	Retries int `json:"retries"`
+	Expired int `json:"expired"`
+	// Workers aggregates per-worker traffic, sorted by worker name.
+	Workers []WorkerStat `json:"workers,omitempty"`
+	// DeadLetters lists the poisoned tasks, sorted by task ID.
+	DeadLetters []DeadLetter `json:"dead_letters,omitempty"`
+}
+
+// Drained reports whether every task is done or dead-lettered.
+func (s Snapshot) Drained() bool { return s.Done+s.Dead == s.Total }

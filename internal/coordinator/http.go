@@ -1,0 +1,437 @@
+package coordinator
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ProtocolVersion versions the HTTP transport's JSON messages. Every
+// request and response carries it in a "v" field; both sides reject
+// versions they do not speak instead of misreading renamed fields.
+const ProtocolVersion = 1
+
+// The HTTP endpoints of the coordinator protocol, under a version
+// prefix so a future v2 can coexist.
+const (
+	leasePath     = "/v1/lease"
+	heartbeatPath = "/v1/heartbeat"
+	ackPath       = "/v1/ack"
+	nackPath      = "/v1/nack"
+	statusPath    = "/v1/status"
+)
+
+// Wire error codes, mapped back to the sentinel errors on the client so
+// errors.Is works across the HTTP boundary.
+const (
+	codeLeaseLost     = "lease_lost"
+	codeUnknownWorker = "unknown_worker"
+	codeDrained       = "drained"
+	codePlanMismatch  = "plan_mismatch"
+	codeBadVersion    = "bad_version"
+	codeBadPayload    = "bad_payload"
+	codeBadRequest    = "bad_request"
+)
+
+// ErrPlanMismatch reports a worker whose locally rebuilt plan does not
+// match the coordinator's: the two processes would disagree on unit
+// identities, so no work is handed out.
+var ErrPlanMismatch = errors.New("coordinator: worker plan does not match the coordinator's")
+
+// ErrBadPayload reports an ack whose payload failed its checksum: the
+// result was torn or corrupted in transit, so the queue refuses it and
+// the lease runs on (to be re-acked, or to expire and requeue).
+var ErrBadPayload = errors.New("coordinator: ack payload checksum mismatch")
+
+// leaseRequest asks for the next task. Plan must equal the server's
+// plan fingerprint.
+type leaseRequest struct {
+	V      int    `json:"v"`
+	Worker string `json:"worker"`
+	Plan   string `json:"plan"`
+}
+
+// leaseResponse carries exactly one of: a granted lease, a drained
+// marker, or a retry hint (nothing ready now; poll again in RetryMS).
+type leaseResponse struct {
+	V       int    `json:"v"`
+	Lease   *Lease `json:"lease,omitempty"`
+	Drained bool   `json:"drained,omitempty"`
+	RetryMS int64  `json:"retry_ms,omitempty"`
+}
+
+// leaseOpRequest addresses a held lease (heartbeat, nack).
+type leaseOpRequest struct {
+	V      int    `json:"v"`
+	Worker string `json:"worker"`
+	Lease  string `json:"lease"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ackRequest resolves a lease with its checksummed result payload.
+type ackRequest struct {
+	V          int    `json:"v"`
+	Worker     string `json:"worker"`
+	Lease      string `json:"lease"`
+	Payload    []byte `json:"payload"`
+	PayloadSum string `json:"payload_sum"`
+}
+
+// okResponse acknowledges a state-changing request.
+type okResponse struct {
+	V  int  `json:"v"`
+	OK bool `json:"ok"`
+}
+
+// errorResponse reports a refused request with a machine-readable code.
+type errorResponse struct {
+	V     int    `json:"v"`
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// StatusResponse is the ops surface: the plan being coordinated and a
+// progress snapshot. The CLI and tests poll it to detect liveness and
+// completion.
+type StatusResponse struct {
+	V        int      `json:"v"`
+	Plan     string   `json:"plan"`
+	Drained  bool     `json:"drained"`
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// payloadSum is the checksum acks carry: hex SHA-256 of the payload.
+func payloadSum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Server exposes a Queue over HTTP to pull workers on other machines,
+// speaking versioned JSON messages. Leases bind to a plan fingerprint:
+// a worker must present the same fingerprint (having rebuilt the plan
+// from the same inputs) before any work is handed out. Ack payloads are
+// checksummed; a torn or corrupted result is refused and the lease runs
+// on, so the unit is re-delivered instead of merged corrupt.
+type Server struct {
+	queue *Queue
+	plan  string
+	mux   *http.ServeMux
+}
+
+// NewServer wraps the queue for the plan with the given fingerprint.
+func NewServer(queue *Queue, plan string) *Server {
+	s := &Server{queue: queue, plan: plan, mux: http.NewServeMux()}
+	s.mux.HandleFunc(leasePath, s.handleLease)
+	s.mux.HandleFunc(heartbeatPath, s.handleHeartbeat)
+	s.mux.HandleFunc(ackPath, s.handleAck)
+	s.mux.HandleFunc(nackPath, s.handleNack)
+	s.mux.HandleFunc(statusPath, s.handleStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeError writes a refusal with its wire code.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorResponse{V: ProtocolVersion, Code: code, Error: err.Error()})
+}
+
+// decode parses a request body into req, enforcing the protocol version
+// (every request type embeds it as "v").
+func decode(w http.ResponseWriter, r *http.Request, req any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		return false
+	}
+	if err := json.Unmarshal(body, req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		return false
+	}
+	var v struct {
+		V int `json:"v"`
+	}
+	_ = json.Unmarshal(body, &v)
+	if v.V != ProtocolVersion {
+		writeError(w, http.StatusBadRequest, codeBadVersion,
+			fmt.Errorf("coordinator: protocol version %d, this server speaks %d", v.V, ProtocolVersion))
+		return false
+	}
+	return true
+}
+
+// handleLease grants the next ready task, or reports drained/retry.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Plan != s.plan {
+		writeError(w, http.StatusConflict, codePlanMismatch,
+			fmt.Errorf("%w (worker plan %.16s…, coordinator plan %.16s…)", ErrPlanMismatch, req.Plan, s.plan))
+		return
+	}
+	lease, wait, err := s.queue.TryLease(req.Worker)
+	if errors.Is(err, ErrDrained) {
+		writeJSON(w, http.StatusOK, leaseResponse{V: ProtocolVersion, Drained: true})
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeBadRequest, err)
+		return
+	}
+	if lease != nil {
+		writeJSON(w, http.StatusOK, leaseResponse{V: ProtocolVersion, Lease: lease})
+		return
+	}
+	retry := wait.Milliseconds()
+	if retry <= 0 || retry > 1000 {
+		retry = 1000
+	}
+	writeJSON(w, http.StatusOK, leaseResponse{V: ProtocolVersion, RetryMS: retry})
+}
+
+// leaseOpError maps queue refusals onto wire codes.
+func leaseOpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrLeaseLost):
+		writeError(w, http.StatusConflict, codeLeaseLost, err)
+	case errors.Is(err, ErrUnknownWorker):
+		writeError(w, http.StatusConflict, codeUnknownWorker, err)
+	default:
+		writeError(w, http.StatusInternalServerError, codeBadRequest, err)
+	}
+}
+
+// handleHeartbeat extends a lease.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req leaseOpRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.queue.Heartbeat(r.Context(), req.Worker, req.Lease); err != nil {
+		leaseOpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, okResponse{V: ProtocolVersion, OK: true})
+}
+
+// handleAck verifies the payload checksum, then resolves the lease. A
+// checksum mismatch leaves the lease untouched: the worker can re-ack,
+// or die and let expiry requeue the task.
+func (s *Server) handleAck(w http.ResponseWriter, r *http.Request) {
+	var req ackRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if payloadSum(req.Payload) != req.PayloadSum {
+		writeError(w, http.StatusBadRequest, codeBadPayload, ErrBadPayload)
+		return
+	}
+	if err := s.queue.Ack(r.Context(), req.Worker, req.Lease, req.Payload); err != nil {
+		leaseOpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, okResponse{V: ProtocolVersion, OK: true})
+}
+
+// handleNack fails a lease's attempt.
+func (s *Server) handleNack(w http.ResponseWriter, r *http.Request) {
+	var req leaseOpRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.queue.Nack(r.Context(), req.Worker, req.Lease, req.Reason); err != nil {
+		leaseOpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, okResponse{V: ProtocolVersion, OK: true})
+}
+
+// handleStatus reports the plan and a progress snapshot.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap := s.queue.Snapshot()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		V: ProtocolVersion, Plan: s.plan, Drained: snap.Drained(), Snapshot: snap,
+	})
+}
+
+// Client is the HTTP side of Coordinator: it speaks the versioned JSON
+// protocol against a Server, turning the poll-style lease endpoint back
+// into the blocking Lease the Worker loop expects.
+type Client struct {
+	base string
+	plan string
+	http *http.Client
+	clk  Clock
+}
+
+// Dial builds a client for the coordinator at base (e.g.
+// "http://host:7077"), presenting the given plan fingerprint on every
+// lease request.
+func Dial(base, plan string) *Client {
+	return &Client{base: base, plan: plan, http: &http.Client{}, clk: SystemClock()}
+}
+
+// post sends one JSON request and decodes the response into out,
+// mapping wire error codes back onto the sentinel errors.
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Code != "" {
+			return wireError(e)
+		}
+		return fmt.Errorf("coordinator: %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// wireError maps an errorResponse onto the matching sentinel error so
+// errors.Is holds across the transport.
+func wireError(e errorResponse) error {
+	switch e.Code {
+	case codeLeaseLost:
+		return fmt.Errorf("%w (%s)", ErrLeaseLost, e.Error)
+	case codeUnknownWorker:
+		return fmt.Errorf("%w (%s)", ErrUnknownWorker, e.Error)
+	case codeDrained:
+		return ErrDrained
+	case codePlanMismatch:
+		return fmt.Errorf("%w (%s)", ErrPlanMismatch, e.Error)
+	case codeBadPayload:
+		return fmt.Errorf("%w (%s)", ErrBadPayload, e.Error)
+	}
+	return fmt.Errorf("coordinator: %s: %s", e.Code, e.Error)
+}
+
+// Lease polls the coordinator until a task is granted, the queue drains
+// (ErrDrained) or ctx is cancelled, honouring the server's retry hints.
+func (c *Client) Lease(ctx context.Context, worker string) (*Lease, error) {
+	for {
+		var resp leaseResponse
+		err := c.post(ctx, leasePath, leaseRequest{V: ProtocolVersion, Worker: worker, Plan: c.plan}, &resp)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.Drained:
+			return nil, ErrDrained
+		case resp.Lease != nil:
+			return resp.Lease, nil
+		}
+		retry := time.Duration(resp.RetryMS) * time.Millisecond
+		if retry <= 0 {
+			retry = 200 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.clk.After(retry):
+		}
+	}
+}
+
+// Heartbeat extends the lease over the wire.
+func (c *Client) Heartbeat(ctx context.Context, worker, leaseID string) error {
+	var resp okResponse
+	return c.post(ctx, heartbeatPath, leaseOpRequest{V: ProtocolVersion, Worker: worker, Lease: leaseID}, &resp)
+}
+
+// Ack resolves the lease with a checksummed payload.
+func (c *Client) Ack(ctx context.Context, worker, leaseID string, payload []byte) error {
+	var resp okResponse
+	return c.post(ctx, ackPath, ackRequest{
+		V: ProtocolVersion, Worker: worker, Lease: leaseID,
+		Payload: payload, PayloadSum: payloadSum(payload),
+	}, &resp)
+}
+
+// Nack fails the lease's attempt over the wire.
+func (c *Client) Nack(ctx context.Context, worker, leaseID, reason string) error {
+	var resp okResponse
+	return c.post(ctx, nackPath, leaseOpRequest{V: ProtocolVersion, Worker: worker, Lease: leaseID, Reason: reason}, &resp)
+}
+
+// Status fetches the coordinator's plan and progress snapshot.
+func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+statusPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if out.V != ProtocolVersion {
+		return nil, fmt.Errorf("coordinator: status protocol version %d, this client speaks %d", out.V, ProtocolVersion)
+	}
+	return &out, nil
+}
+
+// WaitReachable polls the status endpoint until the coordinator answers
+// (a worker may start before its coordinator is listening), the timeout
+// lapses, or ctx is cancelled. It also verifies the plan fingerprints
+// agree, so a worker fails fast when pointed at the wrong sweep.
+func (c *Client) WaitReachable(ctx context.Context, timeout time.Duration) error {
+	deadline := c.clk.Now().Add(timeout)
+	var last error
+	for {
+		status, err := c.Status(ctx)
+		if err == nil {
+			if status.Plan != c.plan {
+				return fmt.Errorf("%w (worker plan %.16s…, coordinator plan %.16s…)", ErrPlanMismatch, c.plan, status.Plan)
+			}
+			return nil
+		}
+		last = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if c.clk.Now().After(deadline) {
+			return fmt.Errorf("coordinator: not reachable within %s: %w", timeout, last)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-c.clk.After(200 * time.Millisecond):
+		}
+	}
+}

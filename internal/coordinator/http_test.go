@@ -1,0 +1,267 @@
+package coordinator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testPlan = "0123456789abcdef0123456789abcdef"
+
+func newTestServer(t *testing.T, cfg Config, ids ...string) (*Queue, *httptest.Server) {
+	t.Helper()
+	q := mustQueue(t, cfg, ids...)
+	srv := httptest.NewServer(NewServer(q, testPlan))
+	t.Cleanup(srv.Close)
+	return q, srv
+}
+
+// TestHTTPEndToEnd runs two Worker loops against the HTTP transport and
+// drains a queue that includes one transiently failing task: the full
+// lease/heartbeat/ack/nack surface crosses the wire.
+func TestHTTPEndToEnd(t *testing.T) {
+	q, srv := newTestServer(t, testConfig(), "a", "b", "c", "d")
+
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	exec := func(_ context.Context, task string, _ int) ([]byte, error) {
+		mu.Lock()
+		attempts[task]++
+		n := attempts[task]
+		mu.Unlock()
+		if task == "b" && n == 1 {
+			return nil, errors.New("transient simulated deadlock")
+		}
+		return []byte("result-" + task), nil
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{
+				Name:      fmt.Sprintf("w%d", i),
+				Coord:     Dial(srv.URL, testPlan),
+				Exec:      exec,
+				Heartbeat: 20 * time.Millisecond,
+			}
+			if err := w.Run(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	snap := q.Snapshot()
+	if snap.Done != 4 || snap.Dead != 0 || snap.Retries != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	payloads := q.Payloads()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if string(payloads[id]) != "result-"+id {
+			t.Errorf("payload for %s = %q", id, payloads[id])
+		}
+	}
+}
+
+// TestHTTPSentinelErrorsCrossTheWire verifies errors.Is holds across the
+// transport for every refusal the server can issue on a lease operation.
+func TestHTTPSentinelErrorsCrossTheWire(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeaseTTL = 40 * time.Millisecond
+	_, srv := newTestServer(t, cfg, "a")
+	ctx := context.Background()
+
+	c := Dial(srv.URL, testPlan)
+	lease, err := c.Lease(ctx, "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong worker name on a held lease.
+	if err := c.Heartbeat(ctx, "impostor", lease.ID); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("impostor heartbeat: %v", err)
+	}
+	// Expired lease.
+	time.Sleep(2 * cfg.LeaseTTL)
+	if err := c.Heartbeat(ctx, "w0", lease.ID); !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("heartbeat on expired lease: %v", err)
+	}
+	if err := c.Ack(ctx, "w0", lease.ID, []byte("late")); !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("ack on expired lease: %v", err)
+	}
+	if err := c.Nack(ctx, "w0", lease.ID, "late"); !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("nack on expired lease: %v", err)
+	}
+}
+
+// TestHTTPPlanMismatch rejects a worker that rebuilt a different plan —
+// both on the lease path and in the WaitReachable handshake.
+func TestHTTPPlanMismatch(t *testing.T) {
+	_, srv := newTestServer(t, testConfig(), "a")
+	ctx := context.Background()
+
+	c := Dial(srv.URL, "ffff000000000000ffff000000000000")
+	if _, err := c.Lease(ctx, "w0"); !errors.Is(err, ErrPlanMismatch) {
+		t.Errorf("lease with wrong plan: %v", err)
+	}
+	if err := c.WaitReachable(ctx, time.Second); !errors.Is(err, ErrPlanMismatch) {
+		t.Errorf("handshake with wrong plan: %v", err)
+	}
+	// The matching client handshakes fine.
+	if err := Dial(srv.URL, testPlan).WaitReachable(ctx, time.Second); err != nil {
+		t.Errorf("handshake with right plan: %v", err)
+	}
+}
+
+// TestHTTPVersionMismatch rejects requests carrying the wrong protocol
+// version with a bad_version refusal rather than misreading the body.
+func TestHTTPVersionMismatch(t *testing.T) {
+	_, srv := newTestServer(t, testConfig(), "a")
+	body, _ := json.Marshal(leaseRequest{V: ProtocolVersion + 1, Worker: "w0", Plan: testPlan})
+	resp, err := http.Post(srv.URL+leasePath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != codeBadVersion {
+		t.Errorf("code %q", e.Code)
+	}
+	if !strings.Contains(e.Error, "version") {
+		t.Errorf("error %q", e.Error)
+	}
+}
+
+// TestHTTPCorruptAckRequeues is the torn-artifact scenario: a worker dies
+// mid-result-write, so its ack arrives with a payload that fails its
+// checksum. The server must refuse the corrupt result WITHOUT touching
+// the lease; expiry then requeues the unit and a healthy worker redoes
+// it, so the merge never sees the partial result.
+func TestHTTPCorruptAckRequeues(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeaseTTL = 60 * time.Millisecond
+	q, srv := newTestServer(t, cfg, "a")
+	ctx := context.Background()
+
+	c := Dial(srv.URL, testPlan)
+	lease, err := c.Lease(ctx, "torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft an ack whose checksum does not match its payload — the
+	// wire-level picture of a result truncated mid-write.
+	body, _ := json.Marshal(ackRequest{
+		V: ProtocolVersion, Worker: "torn", Lease: lease.ID,
+		Payload: []byte("partial resul"), PayloadSum: payloadSum([]byte("full result")),
+	})
+	resp, err := http.Post(srv.URL+ackPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || e.Code != codeBadPayload {
+		t.Fatalf("status %d code %q", resp.StatusCode, e.Code)
+	}
+	if !errors.Is(wireError(e), ErrBadPayload) {
+		t.Errorf("wire error does not map to ErrBadPayload: %v", wireError(e))
+	}
+	// The corrupt ack must not have resolved the task.
+	if snap := q.Snapshot(); snap.Done != 0 {
+		t.Fatalf("corrupt ack resolved the task: %+v", snap)
+	}
+
+	// The worker is gone; the lease expires and a healthy worker redoes
+	// the unit with an intact payload.
+	takeover, err := c.Lease(ctx, "healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if takeover.Task != "a" || takeover.Attempt != 2 {
+		t.Fatalf("takeover lease %+v", takeover)
+	}
+	if err := c.Ack(ctx, "healthy", takeover.ID, []byte("full result")); err != nil {
+		t.Fatal(err)
+	}
+	snap := q.Snapshot()
+	if snap.Done != 1 || snap.Expired != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if got := string(q.Payloads()["a"]); got != "full result" {
+		t.Errorf("merged payload %q", got)
+	}
+}
+
+// TestHTTPDrainedAndStatus covers the worker exit path (drained lease
+// response) and the status surface workers and the CLI poll.
+func TestHTTPDrainedAndStatus(t *testing.T) {
+	_, srv := newTestServer(t, testConfig(), "a")
+	ctx := context.Background()
+	c := Dial(srv.URL, testPlan)
+
+	lease, err := c.Lease(ctx, "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ack(ctx, "w0", lease.ID, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lease(ctx, "w0"); !errors.Is(err, ErrDrained) {
+		t.Fatalf("lease after drain: %v", err)
+	}
+	status, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.Drained || status.Plan != testPlan || status.Snapshot.Done != 1 {
+		t.Errorf("status %+v", status)
+	}
+}
+
+// TestHTTPRetryHint verifies a client with nothing to lease honours the
+// server's poll hint instead of spinning, then picks up the requeued task.
+func TestHTTPRetryHint(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeaseTTL = 80 * time.Millisecond
+	q, srv := newTestServer(t, cfg, "a")
+	ctx := context.Background()
+
+	// Occupy the only task from a worker that will die silently.
+	if _, err := Dial(srv.URL, testPlan).Lease(ctx, "goner"); err != nil {
+		t.Fatal(err)
+	}
+	// A second client sees nothing ready (retry hint), polls, and wins the
+	// task once the goner's lease expires.
+	c := Dial(srv.URL, testPlan)
+	lease, err := c.Lease(ctx, "patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Task != "a" || lease.Attempt != 2 {
+		t.Fatalf("lease %+v", lease)
+	}
+	if err := c.Ack(ctx, "patient", lease.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	if snap := q.Snapshot(); snap.Done != 1 || snap.Expired != 1 {
+		t.Errorf("snapshot %+v", snap)
+	}
+}

@@ -1,0 +1,420 @@
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// taskState is one task's position in the lease state machine.
+type taskState int
+
+const (
+	taskPending taskState = iota // ready (or backing off) for a lease
+	taskLeased                   // handed to a worker, lease live
+	taskDone                     // acked with a result
+	taskDead                     // attempt budget exhausted
+)
+
+// task is the queue's record of one unit of work.
+type task struct {
+	id        string
+	pos       int // submission order; pending tasks are leased in this order
+	state     taskState
+	attempts  int       // grants so far (1-based once leased)
+	notBefore time.Time // backoff gate while pending
+	reasons   []string  // one failure reason per failed attempt
+	// Lease fields, valid while state == taskLeased.
+	leaseID  string
+	worker   string
+	deadline time.Time
+	// payload is the ack result, valid once state == taskDone.
+	payload []byte
+}
+
+// Queue is the in-process coordinator: a pull queue of tasks with
+// per-task leases, heartbeat-extended deadlines, expiry requeue, bounded
+// jittered retries and a dead-letter set. It implements Coordinator
+// directly, and Server exposes the same queue over HTTP. All methods are
+// safe for concurrent use.
+type Queue struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tasks   map[string]*task
+	order   []*task // submission order
+	leases  map[string]*task
+	seq     int // lease token sequence
+	retries int
+	expired int
+	workers map[string]*WorkerStat
+	jitter  *rand.Rand
+	wake    chan struct{} // closed and replaced on every state change
+}
+
+// NewQueue builds a queue over the task IDs, leased in the given order.
+// Duplicate IDs are an error (leases address tasks by ID).
+func NewQueue(cfg Config, ids []string) (*Queue, error) {
+	q := &Queue{
+		cfg:     cfg.withDefaults(),
+		tasks:   make(map[string]*task, len(ids)),
+		leases:  map[string]*task{},
+		workers: map[string]*WorkerStat{},
+		wake:    make(chan struct{}),
+	}
+	q.jitter = rand.New(rand.NewSource(q.cfg.Seed))
+	for i, id := range ids {
+		if _, dup := q.tasks[id]; dup {
+			return nil, fmt.Errorf("coordinator: duplicate task %q", id)
+		}
+		t := &task{id: id, pos: i}
+		q.tasks[id] = t
+		q.order = append(q.order, t)
+	}
+	return q, nil
+}
+
+// Len returns the number of tasks in the queue.
+func (q *Queue) Len() int { return len(q.order) }
+
+// wakeAll signals every blocked Lease/Wait that queue state changed.
+// Callers hold q.mu.
+func (q *Queue) wakeAllLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// emit delivers events to the observer. Callers must NOT hold q.mu: the
+// observer may take locks of its own (but must not call back into q).
+func (q *Queue) emit(events []Event) {
+	if q.cfg.OnEvent == nil {
+		return
+	}
+	for _, e := range events {
+		q.cfg.OnEvent(e)
+	}
+}
+
+// stat returns the per-worker stats record, creating it on first use.
+// Callers hold q.mu.
+func (q *Queue) statLocked(worker string) *WorkerStat {
+	s, ok := q.workers[worker]
+	if !ok {
+		s = &WorkerStat{Worker: worker}
+		q.workers[worker] = s
+	}
+	return s
+}
+
+// expireLocked requeues (or dead-letters) every task whose lease
+// deadline has passed. Callers hold q.mu; returned events must be
+// emitted after unlocking.
+func (q *Queue) expireLocked(now time.Time) []Event {
+	var events []Event
+	for _, t := range q.order {
+		if t.state != taskLeased || now.Before(t.deadline) {
+			continue
+		}
+		q.expired++
+		q.statLocked(t.worker).Expired++
+		events = append(events, Event{Kind: EventExpire, Task: t.id, Worker: t.worker, Attempt: t.attempts, Reason: "lease expired"})
+		events = append(events, q.failLocked(t, now, "lease expired")...)
+	}
+	return events
+}
+
+// failLocked resolves a failed attempt: back to pending with backoff, or
+// to the dead-letter set once the attempt budget is spent. Callers hold
+// q.mu.
+func (q *Queue) failLocked(t *task, now time.Time, reason string) []Event {
+	delete(q.leases, t.leaseID)
+	t.leaseID, t.worker, t.deadline = "", "", time.Time{}
+	t.reasons = append(t.reasons, reason)
+	var events []Event
+	if t.attempts >= q.cfg.MaxAttempts {
+		t.state = taskDead
+		events = append(events, Event{Kind: EventDeadLetter, Task: t.id, Attempt: t.attempts, Reason: reason})
+	} else {
+		t.state = taskPending
+		t.notBefore = now.Add(q.backoffLocked(t.attempts))
+		q.retries++
+		events = append(events, Event{Kind: EventRequeue, Task: t.id, Attempt: t.attempts, Reason: reason})
+	}
+	if q.drainedLocked() {
+		events = append(events, Event{Kind: EventDrained})
+	}
+	q.wakeAllLocked()
+	return events
+}
+
+// backoffLocked computes the jittered exponential delay before a task's
+// next attempt: base·2^(attempt-1) capped at MaxBackoff, jittered into
+// [50%, 100%]. Callers hold q.mu (the jitter source is not
+// concurrency-safe).
+func (q *Queue) backoffLocked(attempt int) time.Duration {
+	d := q.cfg.RetryBackoff
+	for i := 1; i < attempt && d < q.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > q.cfg.MaxBackoff {
+		d = q.cfg.MaxBackoff
+	}
+	return d/2 + time.Duration(q.jitter.Int63n(int64(d/2)+1))
+}
+
+// drainedLocked reports whether every task is resolved. Callers hold q.mu.
+func (q *Queue) drainedLocked() bool {
+	for _, t := range q.order {
+		if t.state == taskPending || t.state == taskLeased {
+			return false
+		}
+	}
+	return true
+}
+
+// TryLease is the non-blocking lease primitive the transports build on.
+// It expires overdue leases, then: grants the first ready pending task
+// (in submission order); or reports ErrDrained; or returns a nil lease
+// with the wait until the next state change worth re-polling for (the
+// earliest backoff gate or lease deadline; 0 means "poll on wake only").
+func (q *Queue) TryLease(worker string) (lease *Lease, wait time.Duration, err error) {
+	now := q.cfg.Clock.Now()
+	q.mu.Lock()
+	events := q.expireLocked(now)
+
+	var grant *Lease
+	var next time.Time
+	if q.drainedLocked() {
+		err = ErrDrained
+	} else {
+		for _, t := range q.order {
+			if t.state != taskPending {
+				if t.state == taskLeased && (next.IsZero() || t.deadline.Before(next)) {
+					next = t.deadline
+				}
+				continue
+			}
+			if now.Before(t.notBefore) {
+				if next.IsZero() || t.notBefore.Before(next) {
+					next = t.notBefore
+				}
+				continue
+			}
+			t.state = taskLeased
+			t.attempts++
+			q.seq++
+			t.leaseID = fmt.Sprintf("%s.%d", t.id, q.seq)
+			t.worker = worker
+			t.deadline = now.Add(q.cfg.LeaseTTL)
+			q.leases[t.leaseID] = t
+			s := q.statLocked(worker)
+			s.Leases++
+			grant = &Lease{ID: t.leaseID, Task: t.id, Attempt: t.attempts, Deadline: t.deadline}
+			events = append(events, Event{Kind: EventLease, Task: t.id, Worker: worker, Attempt: t.attempts})
+			break
+		}
+	}
+	q.mu.Unlock()
+	q.emit(events)
+
+	if err != nil {
+		return nil, 0, err
+	}
+	if grant != nil {
+		return grant, 0, nil
+	}
+	if !next.IsZero() {
+		if wait = next.Sub(now); wait <= 0 {
+			wait = time.Millisecond
+		}
+	}
+	return nil, wait, nil
+}
+
+// Lease blocks until a task is ready, the queue drains (ErrDrained) or
+// ctx is cancelled. It implements Coordinator.
+func (q *Queue) Lease(ctx context.Context, worker string) (*Lease, error) {
+	for {
+		q.mu.Lock()
+		wake := q.wake
+		q.mu.Unlock()
+
+		lease, wait, err := q.TryLease(worker)
+		if err != nil {
+			return nil, err
+		}
+		if lease != nil {
+			return lease, nil
+		}
+		var timer <-chan time.Time
+		if wait > 0 {
+			timer = q.cfg.Clock.After(wait)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-wake:
+		case <-timer:
+		}
+	}
+}
+
+// lookupLocked resolves a live lease for an operation, expiring overdue
+// leases first. Callers hold q.mu.
+func (q *Queue) lookupLocked(worker, leaseID string, now time.Time) (*task, []Event, error) {
+	events := q.expireLocked(now)
+	t, ok := q.leases[leaseID]
+	if !ok {
+		return nil, events, ErrLeaseLost
+	}
+	if t.worker != worker {
+		return nil, events, ErrUnknownWorker
+	}
+	return t, events, nil
+}
+
+// Heartbeat extends the lease's deadline by LeaseTTL. ErrLeaseLost means
+// the queue gave the task away (the worker should abandon its work).
+func (q *Queue) Heartbeat(_ context.Context, worker, leaseID string) error {
+	now := q.cfg.Clock.Now()
+	q.mu.Lock()
+	t, events, err := q.lookupLocked(worker, leaseID, now)
+	if err == nil {
+		t.deadline = now.Add(q.cfg.LeaseTTL)
+	}
+	q.mu.Unlock()
+	q.emit(events)
+	return err
+}
+
+// Ack resolves the lease's task as done, storing the result payload.
+func (q *Queue) Ack(_ context.Context, worker, leaseID string, payload []byte) error {
+	now := q.cfg.Clock.Now()
+	q.mu.Lock()
+	t, events, err := q.lookupLocked(worker, leaseID, now)
+	if err == nil {
+		delete(q.leases, t.leaseID)
+		t.leaseID, t.deadline = "", time.Time{}
+		t.state = taskDone
+		t.payload = payload
+		q.statLocked(worker).Acks++
+		events = append(events, Event{Kind: EventAck, Task: t.id, Worker: worker, Attempt: t.attempts})
+		if q.drainedLocked() {
+			events = append(events, Event{Kind: EventDrained})
+		}
+		q.wakeAllLocked()
+	}
+	q.mu.Unlock()
+	q.emit(events)
+	return err
+}
+
+// Nack reports the lease's attempt failed: the task is requeued with
+// backoff, or dead-lettered once its attempt budget is spent.
+func (q *Queue) Nack(_ context.Context, worker, leaseID, reason string) error {
+	now := q.cfg.Clock.Now()
+	q.mu.Lock()
+	t, events, err := q.lookupLocked(worker, leaseID, now)
+	if err == nil {
+		if reason == "" {
+			reason = "unspecified failure"
+		}
+		q.statLocked(worker).Nacks++
+		events = append(events, Event{Kind: EventNack, Task: t.id, Worker: worker, Attempt: t.attempts, Reason: reason})
+		events = append(events, q.failLocked(t, now, reason)...)
+	}
+	q.mu.Unlock()
+	q.emit(events)
+	return err
+}
+
+// Wait blocks until the queue drains or ctx is cancelled. Unlike a
+// worker pool join, it returns as soon as every task is resolved —
+// including when the resolution is a dead letter — so a sweep with a
+// poisoned unit terminates instead of hanging. Expiry of outstanding
+// leases is driven here too, so Wait makes progress even with no worker
+// left alive.
+func (q *Queue) Wait(ctx context.Context) error {
+	for {
+		now := q.cfg.Clock.Now()
+		q.mu.Lock()
+		wake := q.wake
+		events := q.expireLocked(now)
+		drained := q.drainedLocked()
+		var next time.Time
+		for _, t := range q.order {
+			if t.state == taskLeased && (next.IsZero() || t.deadline.Before(next)) {
+				next = t.deadline
+			}
+		}
+		q.mu.Unlock()
+		q.emit(events)
+		if drained {
+			return nil
+		}
+		var timer <-chan time.Time
+		if !next.IsZero() {
+			wait := next.Sub(now)
+			if wait <= 0 {
+				wait = time.Millisecond
+			}
+			timer = q.cfg.Clock.After(wait)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-wake:
+		case <-timer:
+		}
+	}
+}
+
+// Payloads returns the ack payload of every done task, keyed by task ID.
+func (q *Queue) Payloads() map[string][]byte {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string][]byte, len(q.order))
+	for _, t := range q.order {
+		if t.state == taskDone {
+			out[t.id] = t.payload
+		}
+	}
+	return out
+}
+
+// Snapshot returns a consistent view of the queue's progress, with
+// workers sorted by name and dead letters by task ID.
+func (q *Queue) Snapshot() Snapshot {
+	now := q.cfg.Clock.Now()
+	q.mu.Lock()
+	events := q.expireLocked(now)
+	s := Snapshot{Total: len(q.order), Retries: q.retries, Expired: q.expired}
+	for _, t := range q.order {
+		switch t.state {
+		case taskPending:
+			s.Pending++
+		case taskLeased:
+			s.Leased++
+		case taskDone:
+			s.Done++
+		case taskDead:
+			s.Dead++
+			s.DeadLetters = append(s.DeadLetters, DeadLetter{
+				Task:     t.id,
+				Attempts: t.attempts,
+				Reasons:  append([]string(nil), t.reasons...),
+			})
+		}
+	}
+	for _, w := range q.workers {
+		s.Workers = append(s.Workers, *w)
+	}
+	q.mu.Unlock()
+	q.emit(events)
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
+	sort.Slice(s.DeadLetters, func(i, j int) bool { return s.DeadLetters[i].Task < s.DeadLetters[j].Task })
+	return s
+}

@@ -1,0 +1,444 @@
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testConfig returns a Config with timescales compressed far enough that
+// the expiry tests finish quickly but stay deterministic in outcome (the
+// assertions are on state transitions, never on tight timing).
+func testConfig() Config {
+	return Config{
+		LeaseTTL:     100 * time.Millisecond,
+		MaxAttempts:  3,
+		RetryBackoff: 5 * time.Millisecond,
+		MaxBackoff:   20 * time.Millisecond,
+	}
+}
+
+func mustQueue(t *testing.T, cfg Config, ids ...string) *Queue {
+	t.Helper()
+	q, err := NewQueue(cfg, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestQueueAckFlow drives the happy path: every task leased once, acked
+// with a payload, queue drained, payloads retrievable.
+func TestQueueAckFlow(t *testing.T) {
+	q := mustQueue(t, testConfig(), "a", "b", "c")
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		lease, err := q.Lease(ctx, "w0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lease.Attempt != 1 {
+			t.Errorf("attempt %d on first grant of %s", lease.Attempt, lease.Task)
+		}
+		if err := q.Ack(ctx, "w0", lease.ID, []byte("result-"+lease.Task)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Lease(ctx, "w0"); !errors.Is(err, ErrDrained) {
+		t.Fatalf("lease on drained queue: %v", err)
+	}
+	if err := q.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	payloads := q.Payloads()
+	for _, id := range []string{"a", "b", "c"} {
+		if string(payloads[id]) != "result-"+id {
+			t.Errorf("payload for %s = %q", id, payloads[id])
+		}
+	}
+	snap := q.Snapshot()
+	if !snap.Drained() || snap.Done != 3 || snap.Retries != 0 || snap.Expired != 0 {
+		t.Errorf("snapshot %+v", snap)
+	}
+}
+
+// TestQueueDuplicateTask rejects duplicate IDs at construction.
+func TestQueueDuplicateTask(t *testing.T) {
+	if _, err := NewQueue(Config{}, []string{"a", "a"}); err == nil {
+		t.Fatal("duplicate task accepted")
+	}
+}
+
+// TestLeaseExpiryRequeueTakeover is the crash-recovery core: a worker
+// leases a task and dies (never heartbeats); the lease expires, the task
+// requeues, and a second worker takes it over and finishes the sweep.
+func TestLeaseExpiryRequeueTakeover(t *testing.T) {
+	q := mustQueue(t, testConfig(), "a")
+	ctx := context.Background()
+
+	dead, err := q.Lease(ctx, "crashed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.Attempt != 1 {
+		t.Fatalf("first attempt = %d", dead.Attempt)
+	}
+
+	// The takeover worker blocks until the dead worker's lease expires
+	// and the backoff passes, then gets the same task at attempt 2.
+	takeover, err := q.Lease(ctx, "survivor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if takeover.Task != "a" || takeover.Attempt != 2 {
+		t.Fatalf("takeover lease %+v", takeover)
+	}
+	// The dead worker's lease is gone: every operation on it fails.
+	if err := q.Heartbeat(ctx, "crashed", dead.ID); !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("heartbeat on expired lease: %v", err)
+	}
+	if err := q.Ack(ctx, "crashed", dead.ID, nil); !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("ack on expired lease: %v", err)
+	}
+	if err := q.Ack(ctx, "survivor", takeover.ID, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := q.Snapshot()
+	if !snap.Drained() || snap.Done != 1 || snap.Expired != 1 || snap.Retries != 1 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	var crashed, survivor WorkerStat
+	for _, w := range snap.Workers {
+		switch w.Worker {
+		case "crashed":
+			crashed = w
+		case "survivor":
+			survivor = w
+		}
+	}
+	if crashed.Expired != 1 || crashed.Acks != 0 {
+		t.Errorf("crashed worker stats %+v", crashed)
+	}
+	if survivor.Acks != 1 {
+		t.Errorf("survivor stats %+v", survivor)
+	}
+}
+
+// TestHeartbeatKeepsLeaseAlive holds one task well past the TTL under a
+// steady heartbeat: the lease must never expire.
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeaseTTL = 250 * time.Millisecond
+	q := mustQueue(t, cfg, "a")
+	ctx := context.Background()
+	lease, err := q.Lease(ctx, "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(4 * cfg.LeaseTTL)
+	for time.Now().Before(deadline) {
+		if err := q.Heartbeat(ctx, "w0", lease.ID); err != nil {
+			t.Fatalf("heartbeat failed: %v", err)
+		}
+		time.Sleep(cfg.LeaseTTL / 5)
+	}
+	if err := q.Ack(ctx, "w0", lease.ID, nil); err != nil {
+		t.Fatalf("ack after sustained heartbeats: %v", err)
+	}
+	if snap := q.Snapshot(); snap.Expired != 0 {
+		t.Errorf("lease expired despite heartbeats: %+v", snap)
+	}
+}
+
+// TestRetryExhaustionDeadLetter nacks one task through its whole attempt
+// budget: it must dead-letter with the full failure history, the queue
+// must drain (no hang), and the lease count must equal MaxAttempts.
+func TestRetryExhaustionDeadLetter(t *testing.T) {
+	q := mustQueue(t, testConfig(), "poisoned", "fine")
+	ctx := context.Background()
+
+	grants := 0
+	for {
+		lease, err := q.Lease(ctx, "w0")
+		if errors.Is(err, ErrDrained) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		grants++
+		if lease.Task == "poisoned" {
+			if err := q.Nack(ctx, "w0", lease.ID, fmt.Sprintf("simulated deadlock (attempt %d)", lease.Attempt)); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := q.Ack(ctx, "w0", lease.ID, []byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := q.Wait(ctx); err != nil {
+		t.Fatalf("wait on drained-with-DLQ queue: %v", err)
+	}
+	snap := q.Snapshot()
+	if snap.Done != 1 || snap.Dead != 1 || !snap.Drained() {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if grants != 1+testConfig().MaxAttempts {
+		t.Errorf("granted %d leases, want %d", grants, 1+testConfig().MaxAttempts)
+	}
+	if len(snap.DeadLetters) != 1 {
+		t.Fatalf("dead letters %+v", snap.DeadLetters)
+	}
+	dl := snap.DeadLetters[0]
+	if dl.Task != "poisoned" || dl.Attempts != testConfig().MaxAttempts {
+		t.Errorf("dead letter %+v", dl)
+	}
+	if len(dl.Reasons) != testConfig().MaxAttempts {
+		t.Fatalf("reasons %v", dl.Reasons)
+	}
+	for i, r := range dl.Reasons {
+		if want := fmt.Sprintf("simulated deadlock (attempt %d)", i+1); r != want {
+			t.Errorf("reason %d = %q, want %q", i, r, want)
+		}
+	}
+}
+
+// TestCrashConsumesAttemptBudget verifies a task that kills its worker
+// every time still dead-letters: lease expiry counts as a failed attempt,
+// so a poisoned unit cannot cycle through crash-requeue forever.
+func TestCrashConsumesAttemptBudget(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeaseTTL = 30 * time.Millisecond
+	q := mustQueue(t, cfg, "killer")
+	ctx := context.Background()
+	for i := 1; i <= cfg.MaxAttempts; i++ {
+		lease, err := q.Lease(ctx, fmt.Sprintf("w%d", i))
+		if err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+		if lease.Attempt != i {
+			t.Fatalf("attempt %d granted as %d", i, lease.Attempt)
+		}
+		// Worker "dies": no heartbeat, no ack. Wait drives expiry.
+	}
+	if err := q.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := q.Snapshot()
+	if snap.Dead != 1 || snap.Expired != cfg.MaxAttempts {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if got := snap.DeadLetters[0].Reasons; len(got) != cfg.MaxAttempts || got[0] != "lease expired" {
+		t.Errorf("reasons %v", got)
+	}
+}
+
+// TestNackBackoffGates verifies a failed task is not immediately
+// re-leasable: TryLease reports a wait while the backoff gate holds.
+func TestNackBackoffGates(t *testing.T) {
+	cfg := testConfig()
+	cfg.RetryBackoff = 250 * time.Millisecond
+	cfg.MaxBackoff = time.Second
+	q := mustQueue(t, cfg, "a")
+	ctx := context.Background()
+	lease, err := q.Lease(ctx, "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Nack(ctx, "w0", lease.ID, "transient"); err != nil {
+		t.Fatal(err)
+	}
+	got, wait, err := q.TryLease("w0")
+	if err != nil || got != nil {
+		t.Fatalf("lease granted during backoff: %v %v", got, err)
+	}
+	if wait <= 0 {
+		t.Fatalf("no re-poll hint during backoff")
+	}
+	// The blocking Lease honours the gate and eventually re-grants.
+	again, err := q.Lease(ctx, "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Task != "a" || again.Attempt != 2 {
+		t.Fatalf("retry lease %+v", again)
+	}
+}
+
+// TestQueueEvents pins the event stream for a retry-then-DLQ flow.
+func TestQueueEvents(t *testing.T) {
+	var mu sync.Mutex
+	var kinds []string
+	cfg := testConfig()
+	cfg.MaxAttempts = 2
+	cfg.OnEvent = func(e Event) {
+		mu.Lock()
+		kinds = append(kinds, string(e.Kind))
+		mu.Unlock()
+	}
+	q := mustQueue(t, cfg, "a")
+	ctx := context.Background()
+	l1, _ := q.Lease(ctx, "w0")
+	_ = q.Nack(ctx, "w0", l1.ID, "boom")
+	l2, err := q.Lease(ctx, "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q.Nack(ctx, "w0", l2.ID, "boom again")
+
+	mu.Lock()
+	got := strings.Join(kinds, " ")
+	mu.Unlock()
+	want := "lease nack requeue lease nack dead-letter drained"
+	if got != want {
+		t.Fatalf("events %q, want %q", got, want)
+	}
+}
+
+// TestConcurrentWorkersDrainEverything hammers one queue from many
+// goroutine workers under -race: every task must resolve exactly once.
+func TestConcurrentWorkersDrainEverything(t *testing.T) {
+	const tasks, workers = 64, 8
+	ids := make([]string, tasks)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("task-%02d", i)
+	}
+	q := mustQueue(t, testConfig(), ids...)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", w)
+			for {
+				lease, err := q.Lease(ctx, name)
+				if errors.Is(err, ErrDrained) {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = q.Ack(ctx, name, lease.ID, []byte(lease.Task))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := q.Snapshot()
+	if snap.Done != tasks || snap.Retries != 0 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	payloads := q.Payloads()
+	if len(payloads) != tasks {
+		t.Fatalf("%d payloads", len(payloads))
+	}
+	total := 0
+	for _, w := range snap.Workers {
+		total += w.Acks
+	}
+	if total != tasks {
+		t.Errorf("worker acks sum to %d", total)
+	}
+}
+
+// TestWorkerRunLoop runs the Worker pull loop end to end over the
+// in-process queue, including a nack-then-retry and drained exit.
+func TestWorkerRunLoop(t *testing.T) {
+	q := mustQueue(t, testConfig(), "a", "b")
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	w := &Worker{
+		Name:      "w0",
+		Coord:     q,
+		Heartbeat: 20 * time.Millisecond,
+		Exec: func(_ context.Context, task string, attempt int) ([]byte, error) {
+			mu.Lock()
+			attempts[task]++
+			n := attempts[task]
+			mu.Unlock()
+			if task == "a" && n == 1 {
+				return nil, errors.New("transient failure")
+			}
+			return []byte(task + "-done"), nil
+		},
+	}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := q.Snapshot()
+	if snap.Done != 2 || snap.Dead != 0 || snap.Retries != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if string(q.Payloads()["a"]) != "a-done" {
+		t.Errorf("payloads %v", q.Payloads())
+	}
+}
+
+// TestWorkerAbandonInjectedCrash simulates a worker crash through the
+// ErrAbandon fault hook: the crashing worker exits mid-lease, the lease
+// expires, and a surviving worker completes the whole queue.
+func TestWorkerAbandonInjectedCrash(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeaseTTL = 50 * time.Millisecond
+	q := mustQueue(t, cfg, "a", "b", "c")
+
+	crasher := &Worker{
+		Name:  "crasher",
+		Coord: q,
+		Exec: func(_ context.Context, task string, _ int) ([]byte, error) {
+			return nil, ErrAbandon
+		},
+	}
+	if err := crasher.Run(context.Background()); !errors.Is(err, ErrAbandon) {
+		t.Fatalf("crasher exit: %v", err)
+	}
+
+	survivor := &Worker{
+		Name:      "survivor",
+		Coord:     q,
+		Heartbeat: 10 * time.Millisecond,
+		Exec: func(_ context.Context, task string, _ int) ([]byte, error) {
+			return []byte(task), nil
+		},
+	}
+	if err := survivor.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := q.Snapshot()
+	if snap.Done != 3 || snap.Dead != 0 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.Expired != 1 {
+		t.Errorf("expired %d, want 1 (the crasher's abandoned lease)", snap.Expired)
+	}
+}
+
+// TestWaitTerminatesWithNoWorkers verifies the no-hung-merge guarantee
+// at its starkest: every worker is gone, a lease is outstanding, and
+// Wait alone must still drive expiry and return.
+func TestWaitTerminatesWithNoWorkers(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeaseTTL = 30 * time.Millisecond
+	cfg.MaxAttempts = 1
+	q := mustQueue(t, cfg, "a")
+	if _, err := q.Lease(context.Background(), "goner"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Wait(ctx); err != nil {
+		t.Fatalf("wait hung or failed: %v", err)
+	}
+	if snap := q.Snapshot(); snap.Dead != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}

@@ -1,0 +1,115 @@
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Executor runs one task attempt and returns its result payload. A nil
+// error acks the task; ErrAbandon simulates a worker crash (see Worker);
+// any other error nacks the attempt with the error text as the reason.
+// ctx is cancelled when the worker's lease is lost, so long executions
+// on a revoked lease can stop wasting work.
+type Executor func(ctx context.Context, task string, attempt int) ([]byte, error)
+
+// Worker is the pull loop one worker runs against a Coordinator: lease,
+// heartbeat while executing, then ack or nack, until the queue drains.
+type Worker struct {
+	// Name identifies the worker in leases, stats and events.
+	Name string
+	// Coord is the queue (in-process) or client (HTTP) to pull from.
+	Coord Coordinator
+	// Exec runs one task attempt.
+	Exec Executor
+	// Heartbeat is the interval between lease extensions; it should be
+	// well under the queue's LeaseTTL (a third is conventional).
+	// Default 5s.
+	Heartbeat time.Duration
+	// Clock overrides the time source, for tests. Default SystemClock.
+	Clock Clock
+}
+
+// Run pulls and executes tasks until the queue drains (nil), ctx is
+// cancelled, the Coordinator fails (transport error), or the Executor
+// asks to simulate a crash (ErrAbandon — the current lease is abandoned
+// un-acked, exactly like a worker death, and must expire before its task
+// moves on).
+func (w *Worker) Run(ctx context.Context) error {
+	hb := w.Heartbeat
+	if hb <= 0 {
+		hb = 5 * time.Second
+	}
+	clock := w.Clock
+	if clock == nil {
+		clock = SystemClock()
+	}
+	for {
+		lease, err := w.Coord.Lease(ctx, w.Name)
+		if errors.Is(err, ErrDrained) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		payload, err := w.execute(ctx, clock, hb, lease)
+		switch {
+		case errors.Is(err, ErrAbandon):
+			return err
+		case errors.Is(err, ErrLeaseLost):
+			// The queue already gave the task away; drop our result and
+			// pull the next task.
+		case err != nil:
+			if nerr := w.Coord.Nack(ctx, w.Name, lease.ID, err.Error()); nerr != nil && !errors.Is(nerr, ErrLeaseLost) {
+				return nerr
+			}
+		default:
+			if aerr := w.Coord.Ack(ctx, w.Name, lease.ID, payload); aerr != nil && !errors.Is(aerr, ErrLeaseLost) {
+				return aerr
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// execute runs one attempt under a heartbeat loop. It returns the
+// executor's result, ErrLeaseLost if the lease expired from under us
+// (the execution context is cancelled and the result discarded), or the
+// executor's error.
+func (w *Worker) execute(ctx context.Context, clock Clock, hb time.Duration, lease *Lease) ([]byte, error) {
+	execCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		payload []byte
+		err     error
+	}
+	done := make(chan result, 1)
+	go func() {
+		payload, err := w.Exec(execCtx, lease.Task, lease.Attempt)
+		done <- result{payload, err}
+	}()
+
+	for {
+		select {
+		case res := <-done:
+			return res.payload, res.err
+		case <-clock.After(hb):
+			if err := w.Coord.Heartbeat(ctx, w.Name, lease.ID); err != nil {
+				cancel()
+				if errors.Is(err, ErrLeaseLost) || errors.Is(err, ErrUnknownWorker) {
+					<-done // let the executor wind down before moving on
+					return nil, ErrLeaseLost
+				}
+				<-done
+				return nil, err
+			}
+		case <-ctx.Done():
+			cancel()
+			<-done
+			return nil, ctx.Err()
+		}
+	}
+}

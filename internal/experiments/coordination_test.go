@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// withCoordination attaches a representative coordination section.
+func withCoordination(r *Report) *Report {
+	r.Coordination = &Coordination{
+		Mode: "in-process",
+		Workers: []CoordWorker{
+			{Worker: "worker-0", Units: 14, Retries: 1, Expired: 0},
+			{Worker: "worker-1", Units: 12, Retries: 0, Expired: 1},
+		},
+		Retries: 2,
+		Expired: 1,
+		DeadLetters: []DeadUnit{{
+			Unit: "deadbeef00112233", Trace: "wsq-mst", Type: "type-2",
+			Attempts: 3,
+			Reasons:  []string{"simulated deadlock", "simulated deadlock", "simulated deadlock"},
+		}},
+	}
+	return r
+}
+
+// TestCoordinationSectionRendered verifies every encoder renders the
+// coordination section when present: workers, churn counters and the
+// dead-lettered unit must all be visible.
+func TestCoordinationSectionRendered(t *testing.T) {
+	report := withCoordination(mustBuildTestReport(t))
+	for _, format := range Formats() {
+		enc, err := NewEncoder(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := enc.Encode(&b, report); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		out := b.String()
+		for _, want := range []string{"worker-0", "worker-1", "deadbeef00112233", "wsq-mst"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s encoding misses %q", format, want)
+			}
+		}
+	}
+}
+
+// TestCoordinationSectionOmitted verifies a static report (Coordination
+// nil) encodes without any coordination artifacts, preserving backward
+// byte-identity with pre-coordination reports.
+func TestCoordinationSectionOmitted(t *testing.T) {
+	report := mustBuildTestReport(t)
+	for _, format := range Formats() {
+		enc, err := NewEncoder(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := enc.Encode(&b, report); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if strings.Contains(strings.ToLower(b.String()), "coordination") {
+			t.Errorf("%s encoding of a static report mentions coordination", format)
+		}
+	}
+}
+
+// TestCoordinationJSONRoundTrips verifies the section survives the
+// JSON round trip (dashboards decode reports structurally).
+func TestCoordinationJSONRoundTrips(t *testing.T) {
+	report := withCoordination(mustBuildTestReport(t))
+	var b bytes.Buffer
+	if err := (JSONEncoder{}).Encode(&b, report); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReportJSON(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := back.Coordination
+	if c == nil || c.Mode != "in-process" || len(c.Workers) != 2 || len(c.DeadLetters) != 1 {
+		t.Fatalf("round-tripped coordination %+v", c)
+	}
+	if c.DeadLetters[0].Unit != "deadbeef00112233" || len(c.DeadLetters[0].Reasons) != 3 {
+		t.Errorf("round-tripped dead letter %+v", c.DeadLetters[0])
+	}
+}
+
+// mustBuildTestReport adapts the report fixture shared with the encoder
+// tests.
+func mustBuildTestReport(t *testing.T) *Report {
+	t.Helper()
+	r, _ := buildTestReport(t)
+	return r
+}

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -32,8 +34,38 @@ func (ASCIIEncoder) Encode(w io.Writer, r *Report) error {
 	b.WriteString(asciiFig11b(r.Fig11b))
 	b.WriteString("\n")
 	b.WriteString(r.Summary.Render())
+	if r.Coordination != nil {
+		b.WriteString("\n")
+		b.WriteString(asciiCoordination(r.Coordination))
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// asciiCoordination renders the dynamic-coordination section: per-worker
+// unit counts plus, when the sweep is partial, the dead-lettered units.
+func asciiCoordination(c *Coordination) string {
+	t := stats.NewTable(
+		fmt.Sprintf("Coordination: dynamic pull-queue sweep (%s mode, %d retries, %d lease expiries)",
+			c.Mode, c.Retries, c.Expired),
+		"Worker", "Units", "Retries", "Expired")
+	for _, w := range c.Workers {
+		t.AddRow(w.Worker, strconv.Itoa(w.Units), strconv.Itoa(w.Retries), strconv.Itoa(w.Expired))
+	}
+	out := t.Render()
+	if len(c.DeadLetters) > 0 {
+		d := stats.NewTable("DEAD-LETTERED UNITS (missing from the tables above)",
+			"Unit", "Trace", "Type", "Attempts", "Last failure")
+		for _, u := range c.DeadLetters {
+			last := ""
+			if len(u.Reasons) > 0 {
+				last = u.Reasons[len(u.Reasons)-1]
+			}
+			d.AddRow(u.Unit, u.Trace, u.Type, strconv.Itoa(u.Attempts), last)
+		}
+		out += "\n" + d.Render()
+	}
+	return out
 }
 
 // asciiTable1 renders Table 1 rows in the paper's layout.

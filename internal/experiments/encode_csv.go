@@ -131,6 +131,35 @@ func (CSVEncoder) Encode(w io.Writer, r *Report) error {
 			f(s.MaxSpeedupType2), f(s.MaxSpeedupType3), f(s.AvgType1DrainShare)}}); err != nil {
 		return err
 	}
+
+	// The coordination sections exist only for dynamically coordinated
+	// sweeps, so static reports stay byte-identical to older encodings.
+	if c := r.Coordination; c != nil {
+		if err := section("coordination", []string{"mode", "retries", "expired"},
+			[][]string{{c.Mode, strconv.Itoa(c.Retries), strconv.Itoa(c.Expired)}}); err != nil {
+			return err
+		}
+		var ws [][]string
+		for _, w := range c.Workers {
+			ws = append(ws, []string{w.Worker, strconv.Itoa(w.Units), strconv.Itoa(w.Retries), strconv.Itoa(w.Expired)})
+		}
+		if err := section("coordination_workers", []string{"worker", "units", "retries", "expired"}, ws); err != nil {
+			return err
+		}
+		if len(c.DeadLetters) > 0 {
+			var ds [][]string
+			for _, u := range c.DeadLetters {
+				last := ""
+				if len(u.Reasons) > 0 {
+					last = u.Reasons[len(u.Reasons)-1]
+				}
+				ds = append(ds, []string{u.Unit, u.Trace, u.Type, strconv.Itoa(u.Attempts), last})
+			}
+			if err := section("coordination_dead_letters", []string{"unit", "trace", "type", "attempts", "last_failure"}, ds); err != nil {
+				return err
+			}
+		}
+	}
 	cw.Flush()
 	return cw.Error()
 }

@@ -41,6 +41,12 @@ type Report struct {
 	Fig11b []Fig11bEntry `json:"fig11b"`
 	// Summary is the headline summary derived from the figures.
 	Summary Summary `json:"summary"`
+	// Coordination, when the simulation sweep ran under the dynamic
+	// coordinator, records how the units were distributed (per-worker
+	// counts, retries, dead letters). It is nil for static runs, and
+	// being execution metadata it is excluded from byte-identity
+	// comparisons of the result tables.
+	Coordination *Coordination `json:"coordination,omitempty"`
 }
 
 // BuildReport assembles the full evaluation report from finished

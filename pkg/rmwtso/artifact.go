@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"repro/internal/atomicio"
+	"repro/internal/experiments"
 )
 
 // ShardSchemaVersion versions the plan fingerprint derivation and the
@@ -52,6 +53,12 @@ type ShardResult struct {
 	Filtered bool `json:"filtered,omitempty"`
 	// Units holds the finished units in plan order.
 	Units []UnitResult `json:"units"`
+	// Coordination, when the shard ran under the dynamic coordinator,
+	// records how its units were distributed (per-worker counts, retries,
+	// dead letters). Nil for statically sharded runs; being execution
+	// metadata, it is ignored by MergeShards and excluded from
+	// byte-identity comparisons.
+	Coordination *experiments.Coordination `json:"coordination,omitempty"`
 }
 
 // shardEnvelope is the versioned, checksummed on-disk frame of one shard

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -283,18 +284,18 @@ func ParseShard(spec string) (Shard, error) {
 // cache (WithCache, else the plan options' Cache/CacheDir) serves and
 // stores units by the same keys, so warm shards do zero simulation work.
 func (r *Runner) RunPlan(ctx context.Context, plan *Plan, shard Shard) (*ShardResult, error) {
+	if r.opts.coord != nil {
+		return r.runPlanCoordinated(ctx, plan, shard)
+	}
 	if err := shard.Validate(); err != nil {
 		return nil, err
 	}
 	if ctx == nil {
 		ctx = r.opts.ctx
 	}
-	cache := r.opts.cache
-	if cache == nil {
-		var err error
-		if cache, err = plan.opts.ResultCache(); err != nil {
-			return nil, err
-		}
+	cache, err := r.planCache(plan)
+	if err != nil {
+		return nil, err
 	}
 
 	selected := plan.Select(shard)
@@ -317,27 +318,12 @@ func (r *Runner) RunPlan(ctx context.Context, plan *Plan, shard Shard) (*ShardRe
 	}
 	base := plan.opts.BaseConfig()
 	sources := make([]TraceSource, len(plan.groups))
-	err := r.runUnitsCtx(ctx, len(groupIdx), func(i int) error {
-		g := plan.groups[groupIdx[i]]
-		gen := workload.Generator{Cores: base.Cores, Seed: g.seed, Replacement: g.spec.Variant}
-		src, err := gen.Source(plan.opts.ScaledProfile(g.spec.Profile))
+	err = r.runUnitsCtx(ctx, len(groupIdx), func(i int) error {
+		src, err := plan.groupSource(plan.groups[groupIdx[i]], cache, selectedIDs)
 		if err != nil {
 			return err
 		}
-		cached := cache != nil
-		for _, ui := range g.units {
-			if cached && !selectedIDs[plan.units[ui].ID] {
-				continue
-			}
-			if cached && !cache.Has(plan.units[ui].Key) {
-				cached = false
-			}
-		}
-		if plan.opts.Materialize && !cached {
-			sources[groupIdx[i]] = sim.Materialize(src).Source()
-		} else {
-			sources[groupIdx[i]] = src
-		}
+		sources[groupIdx[i]] = src
 		return nil
 	})
 	if err != nil {
@@ -348,32 +334,11 @@ func (r *Runner) RunPlan(ctx context.Context, plan *Plan, shard Shard) (*ShardRe
 	results := make([]UnitResult, len(selected))
 	err = r.runUnitsCtx(ctx, len(selected), func(i int) error {
 		u := selected[i]
-		src := sources[u.group]
-		if cache != nil {
-			if res, ok := cache.GetSim(u.Key); ok {
-				// Warm runs must reject a deadlocked result exactly like
-				// cold runs do (such entries are never stored here, but a
-				// foreign writer could have).
-				if res.Deadlocked {
-					return deadlockError(u.Trace, u.Type)
-				}
-				results[i] = UnitResult{Unit: u.ID, Trace: u.Trace, Type: u.Type, Seed: u.Seed, CacheHit: true, Result: res}
-				r.emit(Event{Sim: &SimRun{Unit: u.ID, Trace: u.Trace, Type: u.Type, Result: res, CacheHit: true}})
-				return nil
-			}
-		}
-		res, err := SimulateSource(base.WithRMWType(u.Type), src)
+		ur, err := r.runUnit(base, u, sources[u.group], cache)
 		if err != nil {
 			return err
 		}
-		if res.Deadlocked {
-			return deadlockError(u.Trace, u.Type)
-		}
-		if cache != nil {
-			_ = cache.PutSim(u.Key, res)
-		}
-		results[i] = UnitResult{Unit: u.ID, Trace: u.Trace, Type: u.Type, Seed: u.Seed, Result: res}
-		r.emit(Event{Sim: &SimRun{Unit: u.ID, Trace: u.Trace, Type: u.Type, Result: res}})
+		results[i] = ur
 		return nil
 	})
 	if err != nil {
@@ -389,51 +354,203 @@ func (r *Runner) RunPlan(ctx context.Context, plan *Plan, shard Shard) (*ShardRe
 	}, nil
 }
 
-// Runs reassembles benchmark runs from unit results, in plan order: one
-// BenchmarkRun per (spec, seed) source group with one ByType entry per
-// unit. It requires exactly the plan's unit set — a missing, duplicated
-// or alien unit is an error — so a partial shard cannot silently
-// masquerade as a finished sweep; merge shard artifacts with MergeShards
-// first.
-func (p *Plan) Runs(units []UnitResult) ([]*BenchmarkRun, error) {
+// planCache resolves the result cache a plan execution consults: the
+// Runner's (WithCache), else the plan options' Cache/CacheDir.
+func (r *Runner) planCache(plan *Plan) (*simcache.Cache, error) {
+	if r.opts.cache != nil {
+		return r.opts.cache, nil
+	}
+	return plan.opts.ResultCache()
+}
+
+// groupSource builds the trace source one plan group's units share: the
+// group's workload generator stream, materialized once when the plan
+// options ask for it and the group still has uncached selected units. A
+// nil selected set means every unit of the group counts as selected.
+// This is phase 1 of RunPlan; coordinated sweeps build the same sources
+// lazily as workers lease into a group.
+func (p *Plan) groupSource(g planGroup, cache *simcache.Cache, selected map[UnitID]bool) (TraceSource, error) {
+	base := p.opts.BaseConfig()
+	gen := workload.Generator{Cores: base.Cores, Seed: g.seed, Replacement: g.spec.Variant}
+	src, err := gen.Source(p.opts.ScaledProfile(g.spec.Profile))
+	if err != nil {
+		return nil, err
+	}
+	cached := cache != nil
+	for _, ui := range g.units {
+		if cached && selected != nil && !selected[p.units[ui].ID] {
+			continue
+		}
+		if cached && !cache.Has(p.units[ui].Key) {
+			cached = false
+		}
+	}
+	if p.opts.Materialize && !cached {
+		return sim.Materialize(src).Source(), nil
+	}
+	return src, nil
+}
+
+// runUnit executes one plan unit against its group's source — serving it
+// from the cache when possible, simulating and storing otherwise — and
+// emits its SimRun event. It is the single execution path behind both
+// the static worker pool (RunPlan phase 2) and the coordinator's pull
+// workers, so the two modes cannot drift.
+func (r *Runner) runUnit(base SimConfig, u Unit, src TraceSource, cache *simcache.Cache) (UnitResult, error) {
+	if cache != nil {
+		if res, ok := cache.GetSim(u.Key); ok {
+			// Warm runs must reject a deadlocked result exactly like
+			// cold runs do (such entries are never stored here, but a
+			// foreign writer could have).
+			if res.Deadlocked {
+				return UnitResult{}, deadlockError(u.Trace, u.Type)
+			}
+			ur := UnitResult{Unit: u.ID, Trace: u.Trace, Type: u.Type, Seed: u.Seed, CacheHit: true, Result: res}
+			r.emit(Event{Sim: &SimRun{Unit: u.ID, Trace: u.Trace, Type: u.Type, Result: res, CacheHit: true}})
+			return ur, nil
+		}
+	}
+	res, err := SimulateSource(base.WithRMWType(u.Type), src)
+	if err != nil {
+		return UnitResult{}, err
+	}
+	if res.Deadlocked {
+		return UnitResult{}, deadlockError(u.Trace, u.Type)
+	}
+	if cache != nil {
+		_ = cache.PutSim(u.Key, res)
+	}
+	ur := UnitResult{Unit: u.ID, Trace: u.Trace, Type: u.Type, Seed: u.Seed, Result: res}
+	r.emit(Event{Sim: &SimRun{Unit: u.ID, Trace: u.Trace, Type: u.Type, Result: res}})
+	return ur, nil
+}
+
+// listedUnitsMax bounds how many unit IDs a merge-path error message
+// spells out; the remainder is summarized as a count, so a merge of a
+// huge plan missing hundreds of units still produces a readable error.
+const listedUnitsMax = 8
+
+// boundedList renders the items sorted, capped at max entries with the
+// remainder summarized ("a, b, …, h and 12 more"). Sorting makes the
+// message deterministic regardless of plan or arrival order; merge-path
+// errors rely on both properties.
+func boundedList(items []string, max int) string {
+	sorted := append([]string(nil), items...)
+	sort.Strings(sorted)
+	if len(sorted) <= max {
+		return strings.Join(sorted, ", ")
+	}
+	return fmt.Sprintf("%s and %d more", strings.Join(sorted[:max], ", "), len(sorted)-max)
+}
+
+// unitDesc renders a unit's identity for error messages.
+func unitDesc(id UnitID, trace string, typ AtomicityType) string {
+	return fmt.Sprintf("%s (%s under %s)", id, trace, typ)
+}
+
+// indexResults validates unit results against the plan — an alien unit, a
+// duplicated unit (all duplicates listed, sorted and bounded) or a
+// result-less unit is an error — and indexes them by unit ID.
+func (p *Plan) indexResults(units []UnitResult) (map[UnitID]*SimResult, error) {
 	byID := make(map[UnitID]*SimResult, len(units))
+	var dups []string
+	dupSeen := map[UnitID]bool{}
 	for _, ur := range units {
 		u, ok := p.Unit(ur.Unit)
 		if !ok {
-			return nil, fmt.Errorf("rmwtso: unit %s (%s under %s) is not in the plan", ur.Unit, ur.Trace, ur.Type)
+			return nil, fmt.Errorf("rmwtso: unit %s is not in the plan", unitDesc(ur.Unit, ur.Trace, ur.Type))
 		}
 		if _, dup := byID[ur.Unit]; dup {
-			return nil, fmt.Errorf("rmwtso: unit %s (%s under %s) appears twice", ur.Unit, ur.Trace, ur.Type)
+			if !dupSeen[ur.Unit] {
+				dupSeen[ur.Unit] = true
+				dups = append(dups, unitDesc(ur.Unit, ur.Trace, ur.Type))
+			}
+			continue
 		}
 		if ur.Result == nil {
-			return nil, fmt.Errorf("rmwtso: unit %s (%s under %s) has no result", ur.Unit, u.Trace, u.Type)
+			return nil, fmt.Errorf("rmwtso: unit %s has no result", unitDesc(ur.Unit, u.Trace, u.Type))
 		}
 		byID[ur.Unit] = ur.Result
 	}
-	var missing []string
+	if len(dups) > 0 {
+		return nil, fmt.Errorf("rmwtso: %d of %d plan units appear twice or more: %s",
+			len(dups), len(p.units), boundedList(dups, listedUnitsMax))
+	}
+	return byID, nil
+}
+
+// missingUnits returns the descriptions and IDs of the plan units absent
+// from the index, each list sorted by unit ID.
+func (p *Plan) missingUnits(byID map[UnitID]*SimResult) (descs []string, ids []UnitID) {
 	for _, u := range p.units {
 		if _, ok := byID[u.ID]; !ok {
-			missing = append(missing, fmt.Sprintf("%s (%s under %s)", u.ID, u.Trace, u.Type))
+			descs = append(descs, unitDesc(u.ID, u.Trace, u.Type))
+			ids = append(ids, u.ID)
 		}
 	}
-	if len(missing) > 0 {
-		return nil, fmt.Errorf("rmwtso: %d of %d plan units missing: %s",
-			len(missing), len(p.units), strings.Join(missing, ", "))
-	}
+	sort.Strings(descs)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return descs, ids
+}
 
-	runs := make([]*BenchmarkRun, len(p.groups))
-	for gi, g := range p.groups {
+// groupRuns reassembles one BenchmarkRun per source group whose units are
+// all present in the index, in plan order.
+func (p *Plan) groupRuns(byID map[UnitID]*SimResult) []*BenchmarkRun {
+	var runs []*BenchmarkRun
+	for _, g := range p.groups {
 		run := &BenchmarkRun{
 			Profile: g.spec.Profile,
 			Variant: g.spec.Variant,
 			ByType:  map[AtomicityType]*SimResult{},
 		}
+		complete := true
 		for _, ui := range g.units {
 			u := p.units[ui]
+			res, ok := byID[u.ID]
+			if !ok {
+				complete = false
+				break
+			}
 			run.Name = u.Trace
-			run.ByType[u.Type] = byID[u.ID]
+			run.ByType[u.Type] = res
 		}
-		runs[gi] = run
+		if complete {
+			runs = append(runs, run)
+		}
 	}
-	return runs, nil
+	return runs
+}
+
+// Runs reassembles benchmark runs from unit results, in plan order: one
+// BenchmarkRun per (spec, seed) source group with one ByType entry per
+// unit. It requires exactly the plan's unit set — a missing, duplicated
+// or alien unit is an error, with the offending unit IDs listed sorted
+// and bounded — so a partial shard cannot silently masquerade as a
+// finished sweep; merge shard artifacts with MergeShards first.
+func (p *Plan) Runs(units []UnitResult) ([]*BenchmarkRun, error) {
+	byID, err := p.indexResults(units)
+	if err != nil {
+		return nil, err
+	}
+	if missing, _ := p.missingUnits(byID); len(missing) > 0 {
+		return nil, fmt.Errorf("rmwtso: %d of %d plan units missing: %s",
+			len(missing), len(p.units), boundedList(missing, listedUnitsMax))
+	}
+	return p.groupRuns(byID), nil
+}
+
+// RunsPartial is Runs for a sweep that legitimately ended incomplete — a
+// coordinated run with dead-lettered units. It reassembles the benchmark
+// runs of every source group whose units all finished and reports the
+// IDs of the absent units (sorted), instead of failing on them; alien,
+// duplicated and result-less units are still errors. Callers render the
+// partial report alongside the missing list so a reader can never
+// mistake it for a finished sweep.
+func (p *Plan) RunsPartial(units []UnitResult) ([]*BenchmarkRun, []UnitID, error) {
+	byID, err := p.indexResults(units)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, missing := p.missingUnits(byID)
+	return p.groupRuns(byID), missing, nil
 }

@@ -20,6 +20,10 @@ type Event struct {
 	Mapping *MappingResult
 	// Sim is set when the unit was one simulator run.
 	Sim *SimRun
+	// Coord is set for coordination state transitions of a dynamically
+	// coordinated sweep (lease, requeue, dead-letter, …), streamed
+	// alongside the SimRun events of the same sweep.
+	Coord *CoordEvent
 }
 
 // Observer receives streamed events. It is called from worker goroutines
@@ -61,6 +65,7 @@ type options struct {
 	observer    Observer
 	types       []AtomicityType
 	cache       *simcache.Cache
+	coord       *CoordinationConfig
 }
 
 // Option configures a Runner.

@@ -1,0 +1,232 @@
+// Command benchsnap captures a machine-readable benchmark snapshot: it
+// runs the repository's Go benchmarks (`go test -bench`), parses the
+// standard benchmark output — including custom per-op metrics like
+// "cycles" and "candidates" — and writes one schema-versioned JSON
+// document dashboards and regression tooling can diff across commits
+// without re-parsing `go test` text.
+//
+// Usage:
+//
+//	go run ./tools/benchsnap -out BENCH_v6.json                 refresh the committed snapshot
+//	go run ./tools/benchsnap -bench 'Enumerate' -out /tmp/b.json   a subset
+//	go run ./tools/benchsnap -check BENCH_v6.json               validate a snapshot (CI smoke)
+//
+// The default benchmark set covers the hot paths the paper's evaluation
+// leans on: trace enumeration (materialized, streamed and parallel),
+// model-checking verdicts, and the TSO simulator. `-benchtime 1x` is the
+// default so a snapshot stays cheap enough for CI; raise it locally when
+// the numbers themselves matter. The snapshot records the environment
+// (Go version, GOOS/GOARCH, CPU count) because benchmark numbers are
+// only comparable within one environment.
+//
+// -check parses an existing snapshot and fails unless the schema version
+// matches, the benchmark list is non-empty and every entry carries a
+// positive ns/op — the shape the smoke job pins so the format cannot
+// drift silently.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the snapshot format; bump it on any
+// incompatible change to the JSON shape.
+const SchemaVersion = 1
+
+// Kind tags the document so consumers can reject unrelated JSON files.
+const Kind = "rmwtso-bench"
+
+// Snapshot is the whole benchmark document.
+type Snapshot struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"`
+	// Environment the numbers were taken in.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	CPUModel  string `json:"cpu_model,omitempty"`
+	// The exact selection the snapshot ran.
+	Bench      string      `json:"bench"`
+	Benchtime  string      `json:"benchtime"`
+	Packages   []string    `json:"packages"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp come from -benchmem.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics carries the benchmark's custom ReportMetric values keyed by
+	// unit (e.g. "cycles", "candidates", "trace-memops").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_v6.json", "write the snapshot to this file (- for stdout)")
+		bench     = flag.String("bench", "Enumerate|Verdict|Sim", "benchmark name regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		pkgs      = flag.String("pkg", ".", "comma-separated packages to benchmark")
+		checkPath = flag.String("check", "", "validate this snapshot file instead of running benchmarks")
+	)
+	flag.Parse()
+
+	if *checkPath != "" {
+		if err := checkSnapshot(*checkPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	snap, err := capture(*bench, *benchtime, strings.Split(*pkgs, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: %d benchmarks -> %s\n", len(snap.Benchmarks), *out)
+}
+
+// capture runs the selected benchmarks once per package and parses the
+// output into a Snapshot.
+func capture(bench, benchtime string, pkgs []string) (*Snapshot, error) {
+	snap := &Snapshot{
+		SchemaVersion: SchemaVersion,
+		Kind:          Kind,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Bench:         bench,
+		Benchtime:     benchtime,
+		Packages:      pkgs,
+	}
+	for _, pkg := range pkgs {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, "-benchmem", pkg)
+		outBytes, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench in %s: %v\n%s", pkg, err, outBytes)
+		}
+		results, cpu, err := parseBenchOutput(string(outBytes))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s benchmark output: %w", pkg, err)
+		}
+		if snap.CPUModel == "" {
+			snap.CPUModel = cpu
+		}
+		snap.Benchmarks = append(snap.Benchmarks, results...)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmarks matched -bench %q in %s", bench, strings.Join(pkgs, ","))
+	}
+	return snap, nil
+}
+
+// parseBenchOutput decodes `go test -bench` text: "pkg:"/"cpu:" headers
+// and one "Benchmark<Name>-N  iters  value unit ..." line per result.
+func parseBenchOutput(out string) ([]Benchmark, string, error) {
+	var results []Benchmark
+	pkg, cpu := "", ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, "", fmt.Errorf("malformed benchmark line %q", line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("iterations in %q: %w", line, err)
+		}
+		b := Benchmark{Name: fields[0], Package: pkg, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("metric value in %q: %w", line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = value
+			case "B/op":
+				b.BytesPerOp = value
+			case "allocs/op":
+				b.AllocsPerOp = value
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[strings.TrimSuffix(unit, "/op")] = value
+			}
+		}
+		results = append(results, b)
+	}
+	return results, cpu, nil
+}
+
+// checkSnapshot validates the shape CI pins: correct schema tag, a
+// non-empty benchmark list, and a positive ns/op on every entry.
+func checkSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if snap.SchemaVersion != SchemaVersion || snap.Kind != Kind {
+		return fmt.Errorf("%s: schema %d kind %q, want schema %d kind %q",
+			path, snap.SchemaVersion, snap.Kind, SchemaVersion, Kind)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("%s: snapshot has no benchmarks", path)
+	}
+	for _, b := range snap.Benchmarks {
+		if !strings.HasPrefix(b.Name, "Benchmark") || b.NsPerOp <= 0 || b.Iterations <= 0 {
+			return fmt.Errorf("%s: implausible entry %+v", path, b)
+		}
+	}
+	fmt.Printf("benchsnap: %s ok: %d benchmarks, %s %s/%s (%d cpus)\n",
+		path, len(snap.Benchmarks), snap.GoVersion, snap.GOOS, snap.GOARCH, snap.CPUs)
+	return nil
+}

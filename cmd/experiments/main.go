@@ -116,6 +116,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// Arm fault injection before any I/O when the chaos environment
+	// variable is set (simulation scenarios only), with a stderr banner
+	// so a faulted run can never be mistaken for a clean one.
+	if banner, err := rmwtso.InstallChaosFromEnv(); err != nil {
+		fatalUsage(err)
+	} else if banner != "" {
+		fmt.Fprintln(os.Stderr, banner)
+	}
+
 	// Reject flag values that would otherwise flow as garbage into the
 	// workload generator or the enumeration heuristic (explicit
 	// "-cores 0"/"-scale 0" included; the unset default 0 means "keep

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/chaos"
 )
 
 // TempPrefix starts the name of every in-flight temp file, so cleanup
@@ -27,6 +29,25 @@ func WriteFile(path string, data []byte) error {
 	tmp, err := os.CreateTemp(dir, TempPrefix+base+"-*")
 	if err != nil {
 		return fmt.Errorf("atomicio: creating temp file: %w", err)
+	}
+	if in := chaos.Current(); in != nil {
+		fault := in.OnWrite(path, data)
+		if fault.Err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("atomicio: writing %s: %w", base, fault.Err)
+		}
+		if fault.KillAt >= 0 {
+			// Emulate SIGKILL mid-write: the torn prefix lands in the temp
+			// file (never renamed into place) and the process dies. Under a
+			// test Exit override the kill returns instead; surface it and
+			// deliberately leave the orphan temp behind, exactly as a real
+			// kill would.
+			tmp.Write(data[:fault.KillAt])
+			tmp.Close()
+			return fmt.Errorf("atomicio: writing %s: %w", base, in.Kill())
+		}
+		data = fault.Data
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()

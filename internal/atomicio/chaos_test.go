@@ -1,0 +1,136 @@
+package atomicio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// arm installs an injector whose kills return ErrKilled instead of
+// exiting, and uninstalls it when the test ends.
+func arm(t *testing.T, spec chaos.Spec) *chaos.Injector {
+	t.Helper()
+	in, err := chaos.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Exit = func(int) {}
+	in.Logf = func(string, ...any) {}
+	chaos.Install(in)
+	t.Cleanup(chaos.Uninstall)
+	return in
+}
+
+// TestChaosKillAtByte verifies an injected mid-write kill leaves exactly
+// the torn prefix in an orphaned temp file and never publishes the
+// target — the invariant every crash scenario leans on.
+func TestChaosKillAtByte(t *testing.T) {
+	arm(t, chaos.Spec{Rules: []chaos.Rule{
+		{Hook: chaos.HookWrite, Kind: chaos.KindKill, Match: "shard", At: 4},
+	}})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard-0.json")
+	err := WriteFile(path, []byte("0123456789"))
+	if !errors.Is(err, chaos.ErrKilled) {
+		t.Fatalf("err %v, want ErrKilled", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target published despite the kill (stat err %v)", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orphans []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			orphans = append(orphans, e.Name())
+		}
+	}
+	if len(orphans) != 1 {
+		t.Fatalf("orphaned temps %v, want exactly one", orphans)
+	}
+	torn, err := os.ReadFile(filepath.Join(dir, orphans[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(torn) != "0123" {
+		t.Fatalf("torn prefix %q, want %q", torn, "0123")
+	}
+}
+
+// TestChaosENOSPC verifies an injected full disk fails the write, cleans
+// the temp up, and leaves the previous target intact.
+func TestChaosENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.json")
+	if err := WriteFile(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	arm(t, chaos.Spec{Rules: []chaos.Rule{
+		{Hook: chaos.HookWrite, Kind: chaos.KindENOSPC},
+	}})
+	err := WriteFile(path, []byte("new"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err %v, want ENOSPC", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "old" {
+		t.Fatalf("target after failed write: %q err %v, want intact %q", got, err, "old")
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			t.Fatalf("temp %s survived the ENOSPC failure", e.Name())
+		}
+	}
+}
+
+// TestChaosFlipCorruptsPublishedBytes verifies a write flip lands in the
+// published file (one bit off), which checksummed readers must catch.
+func TestChaosFlipCorruptsPublishedBytes(t *testing.T) {
+	arm(t, chaos.Spec{Seed: 3, Rules: []chaos.Rule{
+		{Hook: chaos.HookWrite, Kind: chaos.KindFlip},
+	}})
+	path := filepath.Join(t.TempDir(), "f.json")
+	want := []byte("checksummed payload bytes")
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^want[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diff)
+	}
+}
+
+// TestChaosInactiveIsTransparent pins the no-injector fast path: with
+// nothing installed WriteFile behaves exactly as before.
+func TestChaosInactiveIsTransparent(t *testing.T) {
+	if chaos.Current() != nil {
+		t.Fatal("injector leaked into this test")
+	}
+	path := filepath.Join(t.TempDir(), "plain.json")
+	if err := WriteFile(path, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "plain" {
+		t.Fatalf("read %q", got)
+	}
+}

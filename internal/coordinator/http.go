@@ -11,6 +11,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/chaos"
 )
 
 // ProtocolVersion versions the HTTP transport's JSON messages. Every
@@ -341,6 +343,11 @@ func wireError(e errorResponse) error {
 // (ErrDrained) or ctx is cancelled, honouring the server's retry hints.
 func (c *Client) Lease(ctx context.Context, worker string) (*Lease, error) {
 	for {
+		if in := chaos.Current(); in != nil {
+			if err := in.OnCoord(chaos.HookLease, worker); err != nil {
+				return nil, err
+			}
+		}
 		var resp leaseResponse
 		err := c.post(ctx, leasePath, leaseRequest{V: ProtocolVersion, Worker: worker, Plan: c.plan}, &resp)
 		if err != nil {
@@ -366,16 +373,31 @@ func (c *Client) Lease(ctx context.Context, worker string) (*Lease, error) {
 
 // Heartbeat extends the lease over the wire.
 func (c *Client) Heartbeat(ctx context.Context, worker, leaseID string) error {
+	if in := chaos.Current(); in != nil {
+		if err := in.OnCoord(chaos.HookHeartbeat, worker); err != nil {
+			return err
+		}
+	}
 	var resp okResponse
 	return c.post(ctx, heartbeatPath, leaseOpRequest{V: ProtocolVersion, Worker: worker, Lease: leaseID}, &resp)
 }
 
-// Ack resolves the lease with a checksummed payload.
+// Ack resolves the lease with a checksummed payload. The checksum is
+// computed before the chaos hook sees the payload, so an injected flip
+// models a result torn in transit after checksumming — the server's
+// verification refuses it and the lease runs on.
 func (c *Client) Ack(ctx context.Context, worker, leaseID string, payload []byte) error {
+	sum := payloadSum(payload)
+	if in := chaos.Current(); in != nil {
+		var err error
+		if payload, err = in.OnAck(worker, payload); err != nil {
+			return err
+		}
+	}
 	var resp okResponse
 	return c.post(ctx, ackPath, ackRequest{
 		V: ProtocolVersion, Worker: worker, Lease: leaseID,
-		Payload: payload, PayloadSum: payloadSum(payload),
+		Payload: payload, PayloadSum: sum,
 	}, &resp)
 }
 

@@ -265,3 +265,110 @@ func TestHTTPRetryHint(t *testing.T) {
 		t.Errorf("snapshot %+v", snap)
 	}
 }
+
+// TestHTTPSixteenWorkerHammer saturates the transport: 16 Worker loops
+// pull 64 tasks over the wire while a status poller reads concurrently.
+// A quarter of the tasks fail their first attempt (exercising nack and
+// retry under contention) and every execution sleeps past the heartbeat
+// interval, so lease extensions race leases, acks and expiry sweeps.
+// Run under -race this is the transport's data-race gauntlet; the
+// assertions are on the invariants that must survive any interleaving:
+// every task done exactly once, no dead letters, no payload lost or
+// cross-wired.
+func TestHTTPSixteenWorkerHammer(t *testing.T) {
+	const (
+		workers = 16
+		tasks   = 64
+	)
+	cfg := testConfig()
+	cfg.LeaseTTL = 500 * time.Millisecond // generous: expiry is not the point here
+	cfg.MaxAttempts = 12
+	ids := make([]string, tasks)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("unit-%02d", i)
+	}
+	q, srv := newTestServer(t, cfg, ids...)
+
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	failedOnce := 0
+	exec := func(_ context.Context, task string, _ int) ([]byte, error) {
+		mu.Lock()
+		attempts[task]++
+		n := attempts[task]
+		mu.Unlock()
+		time.Sleep(3 * time.Millisecond) // outlive the heartbeat interval
+		if n == 1 && strings.HasSuffix(task, "0") || n == 1 && strings.HasSuffix(task, "5") {
+			mu.Lock()
+			failedOnce++
+			mu.Unlock()
+			return nil, errors.New("transient first-attempt failure")
+		}
+		return []byte("result-" + task), nil
+	}
+
+	// A concurrent status poller, as the CLI would run against a live
+	// fleet; stopped once the workers drain.
+	pollDone := make(chan struct{})
+	pollStopped := make(chan struct{})
+	go func() {
+		defer close(pollStopped)
+		c := Dial(srv.URL, testPlan)
+		for {
+			select {
+			case <-pollDone:
+				return
+			default:
+			}
+			if _, err := c.Status(context.Background()); err != nil {
+				t.Error("status poll:", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{
+				Name:      fmt.Sprintf("hammer-%02d", i),
+				Coord:     Dial(srv.URL, testPlan),
+				Exec:      exec,
+				Heartbeat: 2 * time.Millisecond,
+			}
+			if err := w.Run(context.Background()); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(pollDone)
+	<-pollStopped
+
+	snap := q.Snapshot()
+	if snap.Done != tasks || snap.Dead != 0 {
+		t.Fatalf("snapshot %+v, want %d done and 0 dead", snap, tasks)
+	}
+	if snap.Retries < failedOnce {
+		t.Errorf("retries %d < %d injected first-attempt failures", snap.Retries, failedOnce)
+	}
+	payloads := q.Payloads()
+	if len(payloads) != tasks {
+		t.Fatalf("%d payloads, want %d", len(payloads), tasks)
+	}
+	for _, id := range ids {
+		if got := string(payloads[id]); got != "result-"+id {
+			t.Errorf("payload for %s = %q", id, got)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range ids {
+		if attempts[id] == 0 {
+			t.Errorf("task %s never executed", id)
+		}
+	}
+}

@@ -105,12 +105,14 @@ func Summarize(a []Fig11aEntry, b []Fig11bEntry) Summary {
 	}
 	var drainShareSum float64
 	var drainShareCount int
+	var min2Seen, min3Seen bool
 	for _, e := range a {
 		t1 := e.Total(core.Type1)
 		if t1 <= 0 {
 			continue
 		}
 		r2 := stats.PercentReduction(t1, e.Total(core.Type2))
+		min2Seen = true
 		if r2 < s.Type2CostReductionMin {
 			s.Type2CostReductionMin = r2
 		}
@@ -119,6 +121,7 @@ func Summarize(a []Fig11aEntry, b []Fig11bEntry) Summary {
 		}
 		if t3, ok := e.RaWa[core.Type3]; ok && t3+e.WriteBuffer[core.Type3] > 0 {
 			r3 := stats.PercentReduction(t1, e.Total(core.Type3))
+			min3Seen = true
 			if r3 < s.Type3CostReductionMin {
 				s.Type3CostReductionMin = r3
 			}
@@ -128,6 +131,15 @@ func Summarize(a []Fig11aEntry, b []Fig11bEntry) Summary {
 		}
 		drainShareSum += 100 * e.WriteBuffer[core.Type1] / t1
 		drainShareCount++
+	}
+	// With no contributing entries (an empty or fully dead-lettered
+	// partial report) the sentinel minima would render as a bogus
+	// "100.0%..0.0%" range; a zero-value summary is the honest rendering.
+	if !min2Seen {
+		s.Type2CostReductionMin = 0
+	}
+	if !min3Seen {
+		s.Type3CostReductionMin = 0
 	}
 	if drainShareCount > 0 {
 		s.AvgType1DrainShare = drainShareSum / float64(drainShareCount)

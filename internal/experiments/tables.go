@@ -131,6 +131,11 @@ func Table3FromRuns(runs []*BenchmarkRun) []Table3Row {
 	var rows []Table3Row
 	for _, run := range runs {
 		t2 := run.Result(core.Type2)
+		if t2 == nil {
+			// A partial report's surviving groups always carry every type,
+			// but guard anyway: a row built from a nil result would panic.
+			continue
+		}
 		rows = append(rows, Table3Row{
 			Name:             run.Name,
 			Suite:            run.Profile.Suite,

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/atomicio"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -162,6 +163,11 @@ type Stats struct {
 	// (unparsable JSON, schema-version or key mismatch, payload checksum
 	// mismatch); each is deleted and counted as a miss.
 	Corrupt uint64
+	// DeleteErrors counts corrupt entries whose deletion itself failed
+	// (e.g. a read-only cache directory). The entry stays on disk and the
+	// lookup is still just a miss — a cache that cannot clean up must not
+	// take the sweep down with it.
+	DeleteErrors uint64
 	// Evictions counts memory-tier entries displaced by the LRU bound.
 	Evictions uint64
 }
@@ -177,6 +183,9 @@ func (s Stats) String() string {
 		s.Hits(), s.MemoryHits, s.DiskHits, s.Misses, s.Stores, s.Corrupt)
 	if s.StoreErrors > 0 {
 		out += fmt.Sprintf(", %d store errors (cache directory not writable?)", s.StoreErrors)
+	}
+	if s.DeleteErrors > 0 {
+		out += fmt.Sprintf(", %d undeletable corrupt entries (cache directory not writable?)", s.DeleteErrors)
 	}
 	return out
 }
@@ -378,14 +387,27 @@ func (c *Cache) Get(k Key, out any) bool {
 		c.countMiss()
 		return false
 	}
+	if in := chaos.Current(); in != nil {
+		if data, err = in.OnRead(path, data); err != nil {
+			c.countMiss()
+			return false
+		}
+	}
 	payload, err := decodeEntry(data, k)
 	if err == nil {
 		err = json.Unmarshal(payload, out)
 	}
 	if err != nil {
 		// Treat damage as a miss and remove the entry so the next run
-		// rewrites it; never surface a partially decoded result.
-		os.Remove(path)
+		// rewrites it; never surface a partially decoded result. If even
+		// the deletion fails (read-only cache dir), log and count it —
+		// an uncleanable cache degrades to misses, it never fails a sweep.
+		if rmErr := removeEntry(path); rmErr != nil && !os.IsNotExist(rmErr) {
+			fmt.Fprintf(os.Stderr, "simcache: cannot delete corrupt entry %s: %v\n", path, rmErr)
+			c.mu.Lock()
+			c.stats.DeleteErrors++
+			c.mu.Unlock()
+		}
 		c.mu.Lock()
 		c.stats.Corrupt++
 		c.stats.Misses++
@@ -418,6 +440,11 @@ func (c *Cache) Has(k Key) bool {
 	_, err := os.Stat(c.path(digest))
 	return err == nil
 }
+
+// removeEntry deletes a corrupt disk entry. A variable so tests can
+// force the deletion failure a read-only cache directory produces even
+// when the test runs as root (whom chmod does not stop).
+var removeEntry = os.Remove
 
 // countMiss bumps the miss counter.
 func (c *Cache) countMiss() {

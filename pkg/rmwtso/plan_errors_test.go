@@ -134,3 +134,50 @@ func TestRunsPartialSplitsCompleteGroups(t *testing.T) {
 		t.Fatalf("complete RunsPartial: runs %d missing %v err %v", len(runs), missing, err)
 	}
 }
+
+// TestRunsPartialAllUnitsDead pins the worst case a coordinated sweep
+// can legitimately end in — every unit dead-lettered: RunsPartial must
+// return zero runs and every plan unit ID, sorted, with no error. This
+// is the input the partial-report path renders, so a panic or a
+// zero-value table here would take the failure report down with the
+// sweep.
+func TestRunsPartialAllUnitsDead(t *testing.T) {
+	plan, err := rmwtso.DefaultPlan(shardOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, input := range map[string][]rmwtso.UnitResult{"nil": nil, "empty": {}} {
+		runs, missing, err := plan.RunsPartial(input)
+		if err != nil {
+			t.Fatalf("%s input: %v", name, err)
+		}
+		if len(runs) != 0 {
+			t.Fatalf("%s input produced %d runs from zero results", name, len(runs))
+		}
+		if len(missing) != plan.Len() {
+			t.Fatalf("%s input: %d missing IDs, want all %d", name, len(missing), plan.Len())
+		}
+		if !sort.SliceIsSorted(missing, func(i, j int) bool { return missing[i] < missing[j] }) {
+			t.Fatalf("%s input: missing IDs not sorted: %v", name, missing)
+		}
+		ids := map[rmwtso.UnitID]bool{}
+		for _, u := range plan.Units() {
+			ids[u.ID] = true
+		}
+		for _, id := range missing {
+			if !ids[id] {
+				t.Fatalf("%s input: alien missing ID %s", name, id)
+			}
+		}
+	}
+	// Alien and result-less units must still be loud errors, not silently
+	// folded into the missing list.
+	if _, _, err := plan.RunsPartial([]rmwtso.UnitResult{{Unit: "feedfeedfeedfeed"}}); err == nil {
+		t.Fatal("alien unit accepted by RunsPartial")
+	}
+	u := plan.Units()[0]
+	noResult := []rmwtso.UnitResult{{Unit: u.ID, Trace: u.Trace, Type: u.Type, Seed: u.Seed}}
+	if _, _, err := plan.RunsPartial(noResult); err == nil {
+		t.Fatal("result-less unit accepted by RunsPartial")
+	}
+}

@@ -1,0 +1,14 @@
+// Package simulation is the repository's whole-system chaos harness:
+// black-box scenario tests that script real `cmd/experiments` worker
+// processes and real on-disk artifacts, inject composed faults through
+// the seeded internal/chaos layer (kill-at-byte-N, delay, bit-flip,
+// ENOSPC — armed in the child processes via the RMWTSO_CHAOS
+// environment variable), and assert that every sweep either completes
+// with a byte-identical report or fails loudly naming exactly the lost
+// units.
+//
+// The package holds only tests; see README.md for the scenario catalog,
+// how to add a scenario, and the seed-replay workflow. Every scenario is
+// deterministic given -chaos.seed (default 1), and a failing scenario
+// logs the exact replay command.
+package simulation

@@ -45,6 +45,10 @@ type AtoResult struct {
 // halves contracted — no event can lie on a path strictly between Ra and Wa
 // without closing a cycle through the induced edges. The brute-force oracle
 // in oracle.go checks this equivalence on every litmus test in the suite.
+//
+// DeriveAto materializes the full diagnostic result (ato edges, order,
+// cycle) and allocates accordingly; validity-only callers should use Valid
+// or a Checker, which run the same fixpoint against reusable scratch state.
 func DeriveAto(x *memmodel.Execution, t AtomicityType) *AtoResult {
 	n := len(x.Events)
 	res := &AtoResult{Exec: x, Type: t, Ato: memmodel.NewRelation(n)}
@@ -98,12 +102,6 @@ func DeriveAto(x *memmodel.Execution, t AtomicityType) *AtoResult {
 		res.Cycle = order.FindCycle()
 	}
 	return res
-}
-
-// Valid reports whether the execution is a valid witness of the TSO model
-// extended with RMWs of the given atomicity type.
-func Valid(x *memmodel.Execution, t AtomicityType) bool {
-	return DeriveAto(x, t).Valid
 }
 
 // GlobalOrder returns one global-happens-before order (a linear extension of

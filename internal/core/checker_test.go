@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// TestCheckerMatchesDeriveAtoAndOracle is the three-way differential for
+// the allocation-free validity path: on every candidate execution of every
+// oracle program and every atomicity type, the reusable Checker, the
+// diagnostic DeriveAto fixpoint and the brute-force linearization oracle
+// must agree. One Checker instance is reused across all candidates, types
+// and programs, so the (program, type) cache invalidation is exercised too.
+func TestCheckerMatchesDeriveAtoAndOracle(t *testing.T) {
+	c := NewChecker()
+	for _, p := range oraclePrograms() {
+		execs, err := memmodel.Enumerate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for _, typ := range AllTypes() {
+			mismatches := 0
+			for _, x := range execs {
+				fast := c.Valid(x, typ)
+				slow := DeriveAto(x, typ).Valid
+				oracle := ExistsWitnessOrder(x, typ)
+				if fast != slow || fast != oracle {
+					mismatches++
+					if mismatches <= 3 {
+						t.Errorf("%s/%s: checker=%v deriveAto=%v oracle=%v for execution:\n%s",
+							p.Name, typ, fast, slow, oracle, x)
+					}
+				}
+			}
+			if mismatches > 3 {
+				t.Errorf("%s/%s: %d further mismatches suppressed", p.Name, typ, mismatches-3)
+			}
+		}
+	}
+}
+
+// TestCheckerSteadyStateAllocationFree pins the hot-path property the
+// enumeration arenas rely on: after the first candidate of a program has
+// warmed the checker's caches, validity checks allocate nothing. The
+// executions are pre-materialized so only the check itself is measured.
+func TestCheckerSteadyStateAllocationFree(t *testing.T) {
+	p := memmodel.NewProgram("alloc-probe")
+	p.AddThread(memmodel.Exchange(0, "a0", 1), memmodel.Read(1, "r0"))
+	p.AddThread(memmodel.Write(1, 1), memmodel.Read(0, "r1"))
+	execs, err := memmodel.Enumerate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(execs) == 0 {
+		t.Fatal("no candidates")
+	}
+	c := NewChecker()
+	for _, x := range execs {
+		c.Valid(x, Type1) // warm the caches and the executions' relations
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Valid(execs[i%len(execs)], Type1)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Checker.Valid allocated %.1f times per steady-state call, want 0", allocs)
+	}
+}

@@ -35,11 +35,12 @@ func (m *Model) Valid(x *memmodel.Execution) bool {
 }
 
 // ValidExecutions enumerates all candidate executions of the program and
-// returns the valid ones.
+// returns the valid ones, cloned out of the enumerator's arena so they
+// remain valid indefinitely.
 func (m *Model) ValidExecutions(p *memmodel.Program) ([]*memmodel.Execution, error) {
 	var out []*memmodel.Execution
 	err := m.ValidExecutionsFunc(p, func(x *memmodel.Execution) bool {
-		out = append(out, x)
+		out = append(out, x.Clone())
 		return true
 	})
 	if err != nil {

@@ -1,16 +1,38 @@
 package memmodel
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSpaceTooLarge is returned (wrapped) by enumeration entry points when a
+// program's candidate space — the product of its reads-from choices and
+// write-serialization permutations — does not fit in an int. Detecting the
+// overflow up front turns what would be a silently wrapped candidate count
+// (and a walk of the wrong index range) into a typed error callers can test
+// with errors.Is.
+var ErrSpaceTooLarge = errors.New("memmodel: candidate space exceeds int range")
+
+// checkedMul returns a*b, reporting overflow instead of wrapping. Both
+// factors must be positive.
+func checkedMul(a, b int) (int, bool) {
+	p := a * b
+	if a != 0 && p/a != b {
+		return 0, false
+	}
+	return p, true
+}
 
 // Enumerate generates all candidate executions of a litmus program. It is
 // a convenience wrapper around EnumerateFunc that materializes the whole
-// candidate set; callers that only need to scan candidates (validity
-// filtering, outcome collection) should prefer EnumerateFunc, which
-// allocates one execution at a time.
+// candidate set, cloning each visited execution out of the enumerator's
+// arena; callers that only need to scan candidates (validity filtering,
+// outcome collection) should prefer EnumerateFunc, which reuses one arena
+// slot per candidate and allocates nothing in steady state.
 func Enumerate(p *Program) ([]*Execution, error) {
 	var out []*Execution
 	err := EnumerateFunc(p, func(x *Execution) bool {
-		out = append(out, x)
+		out = append(out, x.Clone())
 		return true
 	})
 	if err != nil {
@@ -29,6 +51,11 @@ func Enumerate(p *Program) ([]*Execution, error) {
 // original recursive walk — and any contiguous index range can be walked
 // independently, which is what EnumerateFunc's worker partitioning relies
 // on.
+//
+// Everything here is computed once per enumeration and then shared
+// read-only by all workers: the event templates, the rf/ws choice tables,
+// the RMW pairing, and the candidate-independent relations (po, ppo, bar,
+// poloc) that depend only on the events.
 type enumSpace struct {
 	p      *Program
 	events []*Event
@@ -37,20 +64,31 @@ type enumSpace struct {
 	reads   []int
 	choices [][]int
 	// addrs lists the accessed locations; wsChoices[i] lists the candidate
-	// coherence orders of addrs[i] (initial write first).
+	// coherence orders of addrs[i] (initial write first). The order slices
+	// are shared read-only with every candidate execution.
 	addrs     []Addr
 	wsChoices [][][]int
 	// rfSize and wsSize are the sizes of the two sub-spaces; the candidate
-	// space has rfSize*wsSize indices.
-	rfSize, wsSize int
-	// rmwReadOf maps each RMW write event to its read half and modify to
-	// its value function — the single derivation of the RMW pairing that
-	// both assemble's value propagation and countRF's value-cycle check
-	// use, so the two can never disagree on which candidates are dropped.
-	rmwReadOf map[int]int
-	modify    map[int]ModifyFunc
-	// readPos maps each read event to its position in reads.
-	readPos map[int]int
+	// space has totalSize = rfSize*wsSize indices (overflow-checked at
+	// construction).
+	rfSize, wsSize, totalSize int
+	// Slice-backed RMW pairing, indexed by event index: rmwReadOf[w] is the
+	// read half of RMW write w (-1 otherwise), modify[w] its value
+	// function, readPos[r] the position of read r in reads (-1 otherwise),
+	// and rmwWrites lists the RMW write events. This is the single
+	// derivation of the pairing that both value propagation and countRF's
+	// value-cycle check use, so the two can never disagree on which
+	// candidates are dropped.
+	rmwReadOf []int
+	modify    []ModifyFunc
+	readPos   []int
+	rmwWrites []int
+	// writeDetermined[i] is true for events whose value is fixed before
+	// propagation: plain and initial writes.
+	writeDetermined []bool
+	// inv holds the candidate-independent relations shared by every
+	// execution of this space.
+	inv *invariantRels
 }
 
 // newEnumSpace validates the program and builds its enumeration space.
@@ -62,7 +100,19 @@ func newEnumSpace(p *Program) (*enumSpace, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp := &enumSpace{p: p, events: events, rmwReadOf: map[int]int{}, modify: map[int]ModifyFunc{}, readPos: map[int]int{}}
+	n := len(events)
+	sp := &enumSpace{
+		p:               p,
+		events:          events,
+		rmwReadOf:       make([]int, n),
+		modify:          make([]ModifyFunc, n),
+		readPos:         make([]int, n),
+		writeDetermined: make([]bool, n),
+	}
+	for i := range sp.rmwReadOf {
+		sp.rmwReadOf[i] = -1
+		sp.readPos[i] = -1
+	}
 
 	// Group writes and reads by location.
 	writesByAddr := map[Addr][]int{}
@@ -104,8 +154,12 @@ func newEnumSpace(p *Program) (*enumSpace, error) {
 			}
 			sp.modify[wrIdx] = m
 			sp.rmwReadOf[wrIdx] = rdIdx
+			sp.rmwWrites = append(sp.rmwWrites, wrIdx)
 			rmwID++
 		}
+	}
+	for _, e := range events {
+		sp.writeDetermined[e.Index] = e.IsWrite() && sp.modify[e.Index] == nil
 	}
 
 	// Enumerate rf choices: for each read, the set of candidate source
@@ -124,104 +178,223 @@ func newEnumSpace(p *Program) (*enumSpace, error) {
 		if len(sp.choices[i]) == 0 {
 			return nil, fmt.Errorf("memmodel: read %s has no candidate writes", r)
 		}
-		sp.rfSize *= len(sp.choices[i])
+		var ok bool
+		if sp.rfSize, ok = checkedMul(sp.rfSize, len(sp.choices[i])); !ok {
+			return nil, fmt.Errorf("memmodel: program %q: reads-from space overflows: %w", p.Name, ErrSpaceTooLarge)
+		}
 	}
 
-	// Enumerate ws choices: per location, the initial write followed by
-	// every permutation of the remaining writes.
+	// Size the ws sub-space before materializing anything: the number of
+	// coherence orders of a location with k non-initial writes is k!, and
+	// the factorials multiply across locations. Doing the arithmetic first
+	// (overflow-checked) means a generator-scale program fails with
+	// ErrSpaceTooLarge instead of wrapping the candidate count or
+	// exhausting memory on the permutation tables.
 	sp.addrs = p.Addrs()
-	sp.wsChoices = make([][][]int, len(sp.addrs))
+	restByAddr := make([][]int, len(sp.addrs))
+	initByAddr := make([]int, len(sp.addrs))
 	sp.wsSize = 1
 	for i, a := range sp.addrs {
-		var init int = -1
-		var rest []int
+		initByAddr[i] = -1
 		for _, w := range writesByAddr[a] {
 			if events[w].IsInit() {
-				init = w
+				initByAddr[i] = w
 			} else {
-				rest = append(rest, w)
+				restByAddr[i] = append(restByAddr[i], w)
 			}
 		}
-		for _, perm := range permutations(rest) {
-			order := append([]int{init}, perm...)
+		perms := 1
+		for k := 2; k <= len(restByAddr[i]); k++ {
+			var ok bool
+			if perms, ok = checkedMul(perms, k); !ok {
+				return nil, fmt.Errorf("memmodel: program %q: write-serialization space of %s overflows: %w", p.Name, AddrName(a), ErrSpaceTooLarge)
+			}
+		}
+		var ok bool
+		if sp.wsSize, ok = checkedMul(sp.wsSize, perms); !ok {
+			return nil, fmt.Errorf("memmodel: program %q: write-serialization space overflows: %w", p.Name, ErrSpaceTooLarge)
+		}
+	}
+	var ok bool
+	if sp.totalSize, ok = checkedMul(sp.rfSize, sp.wsSize); !ok {
+		return nil, fmt.Errorf("memmodel: program %q: candidate space overflows: %w", p.Name, ErrSpaceTooLarge)
+	}
+
+	// Materialize the ws choices: per location, the initial write followed
+	// by every permutation of the remaining writes.
+	sp.wsChoices = make([][][]int, len(sp.addrs))
+	for i := range sp.addrs {
+		for _, perm := range permutations(restByAddr[i]) {
+			order := append([]int{initByAddr[i]}, perm...)
 			sp.wsChoices[i] = append(sp.wsChoices[i], order)
 		}
-		sp.wsSize *= len(sp.wsChoices[i])
 	}
+
+	// Derive the candidate-independent relations once; every arena slot
+	// shares them.
+	sp.inv = newInvariantRels(events)
 	return sp, nil
 }
 
 // total returns the number of candidate indices (including candidates that
-// assemble later drops for cyclic RMW value dependencies).
-func (sp *enumSpace) total() int { return sp.rfSize * sp.wsSize }
+// assembly later drops for cyclic RMW value dependencies).
+func (sp *enumSpace) total() int { return sp.totalSize }
 
-// enumScratch holds the per-walker decode buffers, so concurrent walkers
-// never share assignment state.
-type enumScratch struct {
+// enumArena holds everything one walker reuses across candidates: the
+// mixed-radix decode buffers, the value-propagation scratch, and a ring of
+// execution slots whose events, rf/ws state and relation backing arrays
+// are recycled. Assembling a candidate into an arena therefore allocates
+// nothing in steady state.
+//
+// The ring size is the slot-reuse contract: a slot handed to emit must not
+// be reassembled until its execution can no longer be referenced. The
+// sequential and unordered walkers visit synchronously, so one slot
+// suffices; the ordered merge path buffers up to enumBatch executions per
+// batch with at most four batches live per worker (one being filled, two
+// in the channel, one being merged), so it uses 4*enumBatch slots.
+type enumArena struct {
+	sp       *enumSpace
 	rfDigits []int // per read: index into choices[i]
 	wsDigits []int // per addr: index into wsChoices[i]
-	rfAssign []int // per read: chosen source write event
+	det      []bool
+	slots    []*Execution
+	next     int
 }
 
-func (sp *enumSpace) newScratch() *enumScratch {
-	return &enumScratch{
+// newArena builds an arena with the given number of execution slots.
+func (sp *enumSpace) newArena(slots int) *enumArena {
+	a := &enumArena{
+		sp:       sp,
 		rfDigits: make([]int, len(sp.reads)),
 		wsDigits: make([]int, len(sp.addrs)),
-		rfAssign: make([]int, len(sp.reads)),
+		det:      make([]bool, len(sp.events)),
+		slots:    make([]*Execution, slots),
 	}
+	for i := range a.slots {
+		a.slots[i] = sp.newSlot()
+	}
+	return a
+}
+
+// newSlot builds one reusable execution: its events are copies of the
+// space's templates (values are rewritten per candidate), its ws orders
+// alias the shared permutation tables, and its relations share the space's
+// candidate-independent set.
+func (sp *enumSpace) newSlot() *Execution {
+	n := len(sp.events)
+	x := &Execution{Program: sp.p, inv: sp.inv}
+	evs := make([]Event, n)
+	x.Events = make([]*Event, n)
+	for i, e := range sp.events {
+		evs[i] = *e
+		x.Events[i] = &evs[i]
+	}
+	x.rf = make([]int, n)
+	for i := range x.rf {
+		x.rf[i] = -1
+	}
+	x.wsAddrs = sp.addrs
+	x.wsOrders = make([][]int, len(sp.addrs))
+	return x
 }
 
 // decode writes the mixed-radix digits of candidate index g into the
-// scratch buffers: ws digits are least significant (location order), rf
+// arena's buffers: ws digits are least significant (location order), rf
 // digits most significant (read order).
-func (sp *enumSpace) decode(g int, s *enumScratch) {
+func (sp *enumSpace) decode(g int, a *enumArena) {
 	for i := len(sp.addrs) - 1; i >= 0; i-- {
 		n := len(sp.wsChoices[i])
-		s.wsDigits[i] = g % n
+		a.wsDigits[i] = g % n
 		g /= n
 	}
 	for i := len(sp.reads) - 1; i >= 0; i-- {
 		n := len(sp.choices[i])
-		s.rfDigits[i] = g % n
+		a.rfDigits[i] = g % n
 		g /= n
 	}
 }
 
-// candidate assembles the execution at candidate index g, or nil when its
-// value propagation does not converge (cyclic RMW value dependency).
-func (sp *enumSpace) candidate(g int, s *enumScratch) *Execution {
-	sp.decode(g, s)
-	for i, d := range s.rfDigits {
-		s.rfAssign[i] = sp.choices[i][d]
+// candidate assembles the execution at candidate index g into the arena's
+// next slot, or returns nil when its value propagation does not converge
+// (cyclic RMW value dependency). The slot ring only advances on success,
+// so dropped candidates cost nothing.
+func (sp *enumSpace) candidate(g int, a *enumArena) *Execution {
+	sp.decode(g, a)
+	x := a.slots[a.next]
+	x.resetDerived()
+	for i, wi := range a.wsDigits {
+		x.wsOrders[i] = sp.wsChoices[i][wi]
 	}
-	ws := map[Addr][]int{}
-	for i, a := range sp.addrs {
-		order := sp.wsChoices[i][s.wsDigits[i]]
-		cp := make([]int, len(order))
-		copy(cp, order)
-		ws[a] = cp
+	for i, d := range a.rfDigits {
+		x.rf[sp.reads[i]] = sp.choices[i][d]
 	}
-	return sp.assemble(s.rfAssign, ws)
+	if !sp.propagate(x, a) {
+		return nil
+	}
+	a.next++
+	if a.next == len(a.slots) {
+		a.next = 0
+	}
+	return x
 }
 
-// rfAcyclic reports whether the rf assignment in the scratch digits has
-// acyclic value dependencies, i.e. whether assemble would keep (rather
-// than drop) candidates with this rf choice. A read's value depends on its
-// source write; an RMW write's value depends on its read half; a cycle
-// through those edges never converges.
-func (sp *enumSpace) rfAcyclic(s *enumScratch) bool {
+// propagate assigns event values for the slot's rf choice: read values
+// come from their rf source; RMW write values come from applying Modify to
+// the read value. It iterates to a fixpoint (chains of RMWs reading from
+// RMW writes converge in at most len(events) rounds) and reports false for
+// cyclic value dependencies, which have no consistent assignment — the
+// same rf assignments countRF excludes.
+func (sp *enumSpace) propagate(x *Execution, a *enumArena) bool {
+	copy(a.det, sp.writeDetermined)
+	events := x.Events
+	for round := 0; round <= len(events); round++ {
+		changed := false
+		for _, rd := range sp.reads {
+			src := x.rf[rd]
+			if a.det[src] && !a.det[rd] {
+				events[rd].Value = events[src].Value
+				a.det[rd] = true
+				changed = true
+			}
+		}
+		for _, wr := range sp.rmwWrites {
+			rd := sp.rmwReadOf[wr]
+			if a.det[rd] && !a.det[wr] {
+				events[wr].Value = sp.modify[wr](events[rd].Value)
+				a.det[wr] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, e := range events {
+		if (e.IsRead() || e.IsWrite()) && !a.det[e.Index] {
+			return false // value cycle through RMWs: no consistent values
+		}
+	}
+	return true
+}
+
+// rfAcyclic reports whether the rf assignment in digits has acyclic value
+// dependencies, i.e. whether assembly would keep (rather than drop)
+// candidates with this rf choice. A read's value depends on its source
+// write; an RMW write's value depends on its read half; a cycle through
+// those edges never converges.
+func (sp *enumSpace) rfAcyclic(digits []int) bool {
 	for i := range sp.reads {
-		w := sp.choices[i][s.rfDigits[i]]
+		w := sp.choices[i][digits[i]]
 		for steps := 0; ; steps++ {
-			rd, isRMW := sp.rmwReadOf[w]
-			if !isRMW {
+			rd := sp.rmwReadOf[w]
+			if rd < 0 {
 				break // plain or initial write: chain grounded
 			}
 			if steps >= len(sp.reads) {
 				return false // longer than any acyclic chain
 			}
 			pos := sp.readPos[rd]
-			w = sp.choices[pos][s.rfDigits[pos]]
+			w = sp.choices[pos][digits[pos]]
 		}
 	}
 	return true
@@ -230,20 +403,20 @@ func (sp *enumSpace) rfAcyclic(s *enumScratch) bool {
 // countRF returns the number of rf assignments whose value dependencies
 // are acyclic, by walking the rf digit odometer.
 func (sp *enumSpace) countRF() int {
-	s := sp.newScratch()
+	digits := make([]int, len(sp.reads))
 	count := 0
 	for {
-		if sp.rfAcyclic(s) {
+		if sp.rfAcyclic(digits) {
 			count++
 		}
 		// Increment the rf odometer (last read least significant).
 		i := len(sp.reads) - 1
 		for ; i >= 0; i-- {
-			s.rfDigits[i]++
-			if s.rfDigits[i] < len(sp.choices[i]) {
+			digits[i]++
+			if digits[i] < len(sp.choices[i]) {
 				break
 			}
-			s.rfDigits[i] = 0
+			digits[i] = 0
 		}
 		if i < 0 {
 			return count
@@ -257,13 +430,19 @@ func (sp *enumSpace) countRF() int {
 // number of per-location write serializations. Candidates whose value
 // propagation cannot converge are never visited by Enumerate and are not
 // counted here, so the result matches the enumeration exactly. Useful for
-// bounding litmus-test cost and for sizing the enumeration worker pool.
+// bounding litmus-test cost and for sizing the enumeration worker pool. A
+// program whose candidate space does not fit in an int yields an error
+// wrapping ErrSpaceTooLarge.
 func CountCandidates(p *Program) (int, error) {
 	sp, err := newEnumSpace(p)
 	if err != nil {
 		return 0, err
 	}
-	return sp.countRF() * sp.wsSize, nil
+	n, ok := checkedMul(sp.countRF(), sp.wsSize)
+	if !ok {
+		return 0, fmt.Errorf("memmodel: program %q: candidate count overflows: %w", p.Name, ErrSpaceTooLarge)
+	}
+	return n, nil
 }
 
 // buildEvents constructs the event templates for a program: one initial
@@ -306,64 +485,6 @@ func buildEvents(p *Program) ([]*Event, error) {
 		}
 	}
 	return events, nil
-}
-
-// assemble builds an Execution for a specific rf and ws assignment,
-// propagating values with the space's shared RMW pairing (rmwReadOf,
-// modify). It returns nil if value propagation fails to converge (cyclic
-// RMW value dependency), which corresponds to no consistent assignment of
-// values — the same rf assignments countRF excludes.
-func (sp *enumSpace) assemble(rfAssign []int, ws map[Addr][]int) *Execution {
-	// Deep copy events so each execution owns its values.
-	events := make([]*Event, len(sp.events))
-	for i, e := range sp.events {
-		cp := *e
-		events[i] = &cp
-	}
-	rf := map[int]int{}
-	for i, rd := range sp.reads {
-		rf[rd] = rfAssign[i]
-	}
-
-	// Value propagation: read values come from their rf source; RMW write
-	// values come from applying Modify to the read value. Iterate to a
-	// fixpoint (chains of RMWs reading from RMW writes converge in at most
-	// len(events) rounds; cycles never converge and are rejected).
-	determined := map[int]bool{}
-	for _, e := range events {
-		if e.IsWrite() && sp.modify[e.Index] == nil {
-			determined[e.Index] = true // plain or initial write: value fixed
-		}
-	}
-	for round := 0; round <= len(events); round++ {
-		changed := false
-		for _, rd := range sp.reads {
-			src := rf[rd]
-			if determined[src] && !determined[rd] {
-				events[rd].Value = events[src].Value
-				determined[rd] = true
-				changed = true
-			}
-		}
-		for wrIdx, m := range sp.modify {
-			rdIdx := sp.rmwReadOf[wrIdx]
-			if determined[rdIdx] && !determined[wrIdx] {
-				events[wrIdx].Value = m(events[rdIdx].Value)
-				determined[wrIdx] = true
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	for _, e := range events {
-		if (e.IsRead() || e.IsWrite()) && !determined[e.Index] {
-			return nil // value cycle through RMWs: no consistent values
-		}
-	}
-
-	return &Execution{Program: sp.p, Events: events, RF: rf, WS: ws}
 }
 
 // permutations returns all permutations of the input slice. The input is

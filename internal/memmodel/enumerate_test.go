@@ -87,7 +87,7 @@ func TestEnumerateValuePropagationPlainWrites(t *testing.T) {
 		t.Fatalf("Enumerate: %v", err)
 	}
 	for _, x := range execs {
-		for read, write := range x.RF {
+		for read, write := range x.RFMap() {
 			if x.Events[read].Value != x.Events[write].Value {
 				t.Fatalf("read %v does not carry the value of its rf source %v",
 					x.Events[read], x.Events[write])
@@ -144,7 +144,7 @@ func TestEnumerateRMWNeverReadsOwnWrite(t *testing.T) {
 		t.Fatalf("Enumerate: %v", err)
 	}
 	for _, x := range execs {
-		for read, write := range x.RF {
+		for read, write := range x.RFMap() {
 			if x.Events[read].SameRMW(x.Events[write]) {
 				t.Fatal("Ra reads from its own Wa")
 			}

@@ -334,6 +334,49 @@ func TestExecutionString(t *testing.T) {
 	}
 }
 
+// TestExecutionStringDeterministic pins the exact rendering of a
+// hand-built SB execution: reads in event-index order, locations in
+// ascending order. The execution is constructed through the map-edge
+// constructor — the path whose map iteration order used to leak into the
+// output — and rendered repeatedly to catch any residual nondeterminism.
+func TestExecutionStringDeterministic(t *testing.T) {
+	p := storeBuffering()
+	events, err := buildEvents(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events: [0] init x, [1] init y, [2] P0:W(x)=1, [3] P0:R(y),
+	// [4] P1:W(y)=1, [5] P1:R(x). Both reads read the initial writes.
+	x := NewExecution(p, events,
+		map[int]int{3: 1, 5: 0},
+		map[Addr][]int{0: {0, 2}, 1: {1, 4}})
+
+	const wantString = `events:
+  [0] init:Init(x)=0
+  [1] init:Init(y)=0
+  [2] P0:W(x)=1
+  [3] P0:R(y)=0
+  [4] P1:W(y)=1
+  [5] P1:R(x)=0
+rf:
+  init:Init(y)=0 -> P0:R(y)=0
+  init:Init(x)=0 -> P1:R(x)=0
+ws:
+  x: init:Init(x)=0 P0:W(x)=1
+  y: init:Init(y)=0 P1:W(y)=1
+`
+	const wantKey = "rf: 3<-1 5<-0 ws: x=[0 2] y=[1 4] regs: P0:r1=0 P1:r2=0"
+
+	for i := 0; i < 100; i++ {
+		if got := x.String(); got != wantString {
+			t.Fatalf("render %d:\n got %q\nwant %q", i, got, wantString)
+		}
+		if got := x.Key(); got != wantKey {
+			t.Fatalf("key %d:\n got %q\nwant %q", i, got, wantKey)
+		}
+	}
+}
+
 func TestFinalMemory(t *testing.T) {
 	p := NewProgram("final")
 	p.AddThread(Write(0, 5))

@@ -25,9 +25,9 @@ func EnumContext(ctx context.Context) EnumOption {
 }
 
 // EnumWorkers partitions the candidate index space into n contiguous
-// ranges, each walked by its own worker goroutine with private assignment
-// state. Values below 2 keep the enumeration sequential; n is further
-// clamped to the candidate count.
+// ranges, each walked by its own worker goroutine with a private arena.
+// Values below 2 keep the enumeration sequential; n is further clamped to
+// the candidate count.
 func EnumWorkers(n int) EnumOption {
 	return func(c *enumConfig) { c.workers = n }
 }
@@ -46,17 +46,18 @@ func EnumUnordered() EnumOption {
 // reach visit. Unlike visit, the filter runs inside the worker goroutines
 // — concurrently when workers > 1 — which is exactly what makes expensive
 // per-candidate work (validity checking) scale: pred must therefore be
-// safe for concurrent use.
+// safe for concurrent use. Like visit, pred receives arena-owned
+// executions it must not retain.
 func EnumFilter(pred func(*Execution) bool) EnumOption {
 	return func(c *enumConfig) { c.filter = pred }
 }
 
 // EnumerateFunc generates all candidate executions of a litmus program and
 // streams them to visit, one at a time: every combination of a reads-from
-// map (each read may read from any write to the same location, including
-// the initial write, but not from the write half of its own RMW) and a
-// per-location write serialization (every permutation of the non-initial
-// writes, with the initial write first).
+// assignment (each read may read from any write to the same location,
+// including the initial write, but not from the write half of its own RMW)
+// and a per-location write serialization (every permutation of the
+// non-initial writes, with the initial write first).
 //
 // Values are then propagated: plain writes keep their program value and
 // RMW writes receive Modify(value read by their read half). Candidates
@@ -66,8 +67,15 @@ func EnumFilter(pred func(*Execution) bool) EnumOption {
 // The visited executions are candidates only: callers must still filter
 // by validity (Execution.BaseValid for the base model, or the RMW-aware
 // check in internal/core), either in visit or concurrently via EnumFilter.
-// Each visited execution owns its events and may be retained. Returning
-// false from visit stops the enumeration early.
+//
+// Each execution passed to visit is owned by the walker's arena and is
+// valid only for the duration of the call: the enumerator reuses its
+// storage for later candidates, which is what makes the per-candidate loop
+// allocation-free. Use Execution.Clone to retain one beyond the visit (as
+// Enumerate does). Returning false from visit stops the enumeration early.
+//
+// Programs whose candidate space does not fit in an int fail up front with
+// an error wrapping ErrSpaceTooLarge.
 //
 // By default the enumeration is sequential. With EnumWorkers(n>1) the
 // candidate index space is split into n contiguous ranges walked
@@ -91,7 +99,7 @@ func EnumerateFunc(p *Program, visit func(*Execution) bool, opts ...EnumOption) 
 		workers = total
 	}
 	if workers <= 1 {
-		return sp.scan(&cfg, 0, sp.total(), nil, visit)
+		return sp.scan(&cfg, 0, sp.total(), nil, sp.newArena(1), visit)
 	}
 	if cfg.unordered {
 		return sp.runUnordered(&cfg, workers, visit)
@@ -102,14 +110,15 @@ func EnumerateFunc(p *Program, visit func(*Execution) bool, opts ...EnumOption) 
 // EnumerateParallel enumerates the candidate executions of a litmus
 // program with the rf×ws choice space statically partitioned into
 // contiguous index ranges across workers goroutines (workers <= 0 means
-// runtime.GOMAXPROCS(0)). Each worker walks its range with private
-// reads-from and write-serialization assignments; the visitor callbacks
-// are merged so that visit is never called concurrently and, unless
-// EnumUnordered is given, arrive in exactly the order sequential
-// EnumerateFunc would produce. Returning false from visit cancels every
-// worker and stops the enumeration after that visit, and a cancelled ctx
-// stops the workers and returns ctx's error. See EnumerateFunc for the
-// candidate-set semantics.
+// runtime.GOMAXPROCS(0)). Each worker walks its range with a private arena
+// of reusable execution slots; the visitor callbacks are merged so that
+// visit is never called concurrently and, unless EnumUnordered is given,
+// arrive in exactly the order sequential EnumerateFunc would produce.
+// Returning false from visit cancels every worker and stops the
+// enumeration after that visit, and a cancelled ctx stops the workers and
+// returns ctx's error. See EnumerateFunc for the candidate-set semantics
+// and the execution lifetime contract (visited executions are arena-owned;
+// Clone to retain).
 func EnumerateParallel(ctx context.Context, p *Program, workers int, visit func(*Execution) bool, opts ...EnumOption) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -140,11 +149,10 @@ func AutoEnumWorkers(p *Program) int {
 }
 
 // scan walks candidate indices [lo, hi) in ascending order: it assembles
-// each candidate, applies the filter, and hands survivors to emit. It
-// returns early without error when emit returns false or stop reports
-// true, and returns ctx's error when the context is cancelled.
-func (sp *enumSpace) scan(cfg *enumConfig, lo, hi int, stop *atomic.Bool, emit func(*Execution) bool) error {
-	scratch := sp.newScratch()
+// each candidate into the arena, applies the filter, and hands survivors
+// to emit. It returns early without error when emit returns false or stop
+// reports true, and returns ctx's error when the context is cancelled.
+func (sp *enumSpace) scan(cfg *enumConfig, lo, hi int, stop *atomic.Bool, arena *enumArena, emit func(*Execution) bool) error {
 	done := cfg.ctx.Done()
 	for g := lo; g < hi; g++ {
 		if stop != nil && stop.Load() {
@@ -157,7 +165,7 @@ func (sp *enumSpace) scan(cfg *enumConfig, lo, hi int, stop *atomic.Bool, emit f
 			default:
 			}
 		}
-		x := sp.candidate(g, scratch)
+		x := sp.candidate(g, arena)
 		if x == nil {
 			continue // cyclic RMW value dependency: not a candidate
 		}
@@ -174,9 +182,16 @@ func (sp *enumSpace) scan(cfg *enumConfig, lo, hi int, stop *atomic.Bool, emit f
 // ranges splits [0, total) into n contiguous, near-equal index ranges.
 func (sp *enumSpace) ranges(n int) [][2]int {
 	total := sp.total()
+	size, rem := total/n, total%n
 	out := make([][2]int, n)
+	lo := 0
 	for i := 0; i < n; i++ {
-		out[i] = [2]int{i * total / n, (i + 1) * total / n}
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		out[i] = [2]int{lo, hi}
+		lo = hi
 	}
 	return out
 }
@@ -184,7 +199,9 @@ func (sp *enumSpace) ranges(n int) [][2]int {
 // runUnordered fans the index ranges across workers and serializes visits
 // through a mutex, in worker completion order. The stop flag is flipped
 // under the same mutex as the visit, so a false return stops the
-// enumeration after exactly that visit.
+// enumeration after exactly that visit. Each worker owns a single-slot
+// arena: the visit completes under the mutex before the worker assembles
+// its next candidate into the slot.
 func (sp *enumSpace) runUnordered(cfg *enumConfig, workers int, visit func(*Execution) bool) error {
 	var (
 		stop atomic.Bool
@@ -208,7 +225,7 @@ func (sp *enumSpace) runUnordered(cfg *enumConfig, workers int, visit func(*Exec
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = sp.scan(cfg, lo, hi, &stop, emit)
+			errs[w] = sp.scan(cfg, lo, hi, &stop, sp.newArena(1), emit)
 		}(w, r[0], r[1])
 	}
 	wg.Wait()
@@ -225,6 +242,16 @@ func (sp *enumSpace) runUnordered(cfg *enumConfig, workers int, visit func(*Exec
 // letting per-worker memory grow past workers × enumBatch × (channel
 // capacity + 1) executions.
 const enumBatch = 64
+
+// orderedArenaBatches is the slot-ring depth of an ordered worker's arena,
+// in batches. Four batches of a worker's executions can be live at once —
+// the one being filled, up to two buffered in its channel (capacity 2),
+// and the one the merger is visiting — and the channel handoffs order the
+// reuse: a worker only starts filling batch k after its send of batch k-1
+// returned, which the channel capacity guarantees happens after the merger
+// received batch k-3 and therefore finished visiting batch k-4, the batch
+// whose slots k is about to reuse.
+const orderedArenaBatches = 4
 
 // runOrdered fans the index ranges across workers and merges their
 // batches back in range order, so visits arrive in exactly the sequential
@@ -244,12 +271,24 @@ func (sp *enumSpace) runOrdered(cfg *enumConfig, workers int, visit func(*Execut
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			defer close(ch)
-			batch := make([]*Execution, 0, enumBatch)
-			errs[w] = sp.scan(cfg, lo, hi, &stop, func(x *Execution) bool {
+			arena := sp.newArena(orderedArenaBatches * enumBatch)
+			// The batch slice buffers recycle through the same 4-deep ring
+			// as the arena slots, under the same reuse argument.
+			bufs := make([][]*Execution, orderedArenaBatches)
+			for i := range bufs {
+				bufs[i] = make([]*Execution, 0, enumBatch)
+			}
+			bi := 0
+			batch := bufs[bi]
+			errs[w] = sp.scan(cfg, lo, hi, &stop, arena, func(x *Execution) bool {
 				batch = append(batch, x)
 				if len(batch) == enumBatch {
 					ch <- batch
-					batch = make([]*Execution, 0, enumBatch)
+					bi++
+					if bi == orderedArenaBatches {
+						bi = 0
+					}
+					batch = bufs[bi][:0]
 				}
 				return true
 			})

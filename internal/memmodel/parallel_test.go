@@ -194,8 +194,11 @@ func TestEnumerateParallelFilterRunsInWorkers(t *testing.T) {
 	keep := func(x *Execution) bool {
 		// Keep executions where the first read reads from the initial
 		// write.
-		for rd, w := range x.RF {
-			if x.Events[rd].Thread == 0 {
+		for _, e := range x.Events {
+			if !e.IsRead() || e.Thread != 0 {
+				continue
+			}
+			if w, ok := x.ReadsFrom(e.Index); ok {
 				return x.Events[w].IsInit()
 			}
 		}

@@ -2,54 +2,104 @@ package memmodel
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 	"strings"
 )
 
+// wordBits is the width of one bitset word.
+const wordBits = 64
+
 // Relation is a binary relation over the events of a single candidate
-// execution, stored as a dense boolean adjacency matrix indexed by
-// Event.Index. Litmus-scale executions have at most a few dozen events, so
-// the dense representation is both simple and fast.
+// execution, stored as a dense bitset adjacency matrix indexed by
+// Event.Index: row i holds one bit per possible successor j. Litmus-scale
+// executions have at most a few dozen events, so a whole row is typically a
+// single uint64 and the closure/cycle algorithms below run word-parallel.
+//
+// Self-edges (i,i) are representable: a pair on the diagonal is a cycle of
+// length one, reported as such by Acyclic, FindCycle and TopoSort. This
+// keeps the relation closed under TransitiveClosure — a cycle surfaced as a
+// closure self-edge can be copied into a derived relation verbatim.
 type Relation struct {
-	n   int
-	adj []bool
+	n     int
+	words int // words per row: ceil(n/64)
+	bits  []uint64
 }
 
 // NewRelation returns an empty relation over n events.
 func NewRelation(n int) *Relation {
-	return &Relation{n: n, adj: make([]bool, n*n)}
+	r := &Relation{}
+	r.init(n)
+	return r
+}
+
+// init sizes the relation for n events, reusing the existing backing array
+// when it is large enough. The relation is cleared either way.
+func (r *Relation) init(n int) {
+	words := (n + wordBits - 1) / wordBits
+	need := n * words
+	r.n, r.words = n, words
+	if cap(r.bits) < need {
+		r.bits = make([]uint64, need)
+		return
+	}
+	r.bits = r.bits[:need]
+	r.Clear()
+}
+
+// Reset clears the relation and resizes it to range over n events, reusing
+// the backing array when it is large enough. It is how arena slots and
+// scratch relations are recycled without allocating.
+func (r *Relation) Reset(n int) { r.init(n) }
+
+// row returns the backing words of row i.
+func (r *Relation) row(i int) []uint64 {
+	return r.bits[i*r.words : (i+1)*r.words]
 }
 
 // Size returns the number of events the relation ranges over.
 func (r *Relation) Size() int { return r.n }
 
-// Add inserts the ordered pair (from, to). Self-edges are ignored.
+// Add inserts the ordered pair (from, to). The diagonal is representable:
+// Add(i, i) records a length-1 cycle.
 func (r *Relation) Add(from, to int) {
-	if from == to {
-		return
-	}
-	r.adj[from*r.n+to] = true
+	r.bits[from*r.words+to/wordBits] |= 1 << (uint(to) % wordBits)
 }
 
 // Has reports whether the ordered pair (from, to) is in the relation.
 func (r *Relation) Has(from, to int) bool {
-	return r.adj[from*r.n+to]
+	return r.bits[from*r.words+to/wordBits]&(1<<(uint(to)%wordBits)) != 0
 }
 
 // Remove deletes the ordered pair (from, to).
 func (r *Relation) Remove(from, to int) {
-	r.adj[from*r.n+to] = false
+	r.bits[from*r.words+to/wordBits] &^= 1 << (uint(to) % wordBits)
+}
+
+// Clear removes every pair, keeping the size.
+func (r *Relation) Clear() {
+	for i := range r.bits {
+		r.bits[i] = 0
+	}
 }
 
 // Clone returns a deep copy of the relation.
 func (r *Relation) Clone() *Relation {
-	c := &Relation{n: r.n, adj: make([]bool, len(r.adj))}
-	copy(c.adj, r.adj)
+	c := &Relation{n: r.n, words: r.words, bits: make([]uint64, len(r.bits))}
+	copy(c.bits, r.bits)
 	return c
 }
 
-// Union adds every pair of other into r and returns r. The two relations
-// must range over the same number of events.
+// CopyFrom makes r an exact copy of other, resizing r as needed. It returns
+// r. Unlike Clone it reuses r's backing array, so scratch relations can be
+// refilled without allocating.
+func (r *Relation) CopyFrom(other *Relation) *Relation {
+	r.init(other.n)
+	copy(r.bits, other.bits)
+	return r
+}
+
+// Union adds every pair of other into r and returns r — one OR per word.
+// The two relations must range over the same number of events.
 func (r *Relation) Union(other *Relation) *Relation {
 	if other == nil {
 		return r
@@ -57,10 +107,8 @@ func (r *Relation) Union(other *Relation) *Relation {
 	if other.n != r.n {
 		panic(fmt.Sprintf("memmodel: union of relations of different sizes (%d vs %d)", r.n, other.n))
 	}
-	for i, v := range other.adj {
-		if v {
-			r.adj[i] = true
-		}
+	for i, w := range other.bits {
+		r.bits[i] |= w
 	}
 	return r
 }
@@ -79,9 +127,12 @@ func UnionOf(n int, rels ...*Relation) *Relation {
 func (r *Relation) Pairs() [][2]int {
 	var out [][2]int
 	for i := 0; i < r.n; i++ {
-		for j := 0; j < r.n; j++ {
-			if r.Has(i, j) {
+		row := r.row(i)
+		for w, word := range row {
+			for word != 0 {
+				j := w*wordBits + bits.TrailingZeros64(word)
 				out = append(out, [2]int{i, j})
+				word &= word - 1
 			}
 		}
 	}
@@ -91,142 +142,216 @@ func (r *Relation) Pairs() [][2]int {
 // Count returns the number of pairs in the relation.
 func (r *Relation) Count() int {
 	c := 0
-	for _, v := range r.adj {
-		if v {
-			c++
-		}
+	for _, w := range r.bits {
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
 
 // TransitiveClosure computes the transitive closure of r in place and
-// returns r (Floyd–Warshall over booleans).
+// returns r: word-parallel Warshall — whenever row i can reach k, everything
+// k reaches is ORed into row i, one word at a time.
 func (r *Relation) TransitiveClosure() *Relation {
-	n := r.n
+	n, words := r.n, r.words
 	for k := 0; k < n; k++ {
+		kRow := r.row(k)
+		kWord, kBit := k/wordBits, uint64(1)<<(uint(k)%wordBits)
 		for i := 0; i < n; i++ {
-			if !r.adj[i*n+k] {
+			iRow := r.bits[i*words : i*words+words]
+			if iRow[kWord]&kBit == 0 {
 				continue
 			}
-			for j := 0; j < n; j++ {
-				if r.adj[k*n+j] {
-					r.adj[i*n+j] = true
-				}
+			for w := range iRow {
+				iRow[w] |= kRow[w]
 			}
 		}
 	}
 	return r
 }
 
-// Acyclic reports whether the relation contains no cycle. A relation with
-// a self-edge introduced by transitive closure is considered cyclic.
+// Acyclic reports whether the relation contains no cycle. A self-edge is a
+// length-1 cycle. The check peels nodes with no outgoing edge into the
+// still-live set until either every node is removed (acyclic) or a pass
+// removes nothing (the survivors all lie on cycles). For relations of up to
+// 64 events — every litmus-scale execution — the live set is a single word
+// and the check allocates nothing.
 func (r *Relation) Acyclic() bool {
-	// Kahn's algorithm over the (non-closed) relation: cheaper than closing
-	// and checking the diagonal, and leaves r untouched.
-	n := r.n
-	indeg := make([]int, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if r.Has(i, j) {
-				indeg[j]++
+	if r.n <= wordBits {
+		return r.acyclicWord()
+	}
+	return r.acyclicBig()
+}
+
+// acyclicWord is the single-word fast path of Acyclic.
+func (r *Relation) acyclicWord() bool {
+	var live uint64
+	if r.n == wordBits {
+		live = ^uint64(0)
+	} else {
+		live = 1<<uint(r.n) - 1
+	}
+	for live != 0 {
+		removed := uint64(0)
+		rest := live
+		for rest != 0 {
+			i := bits.TrailingZeros64(rest)
+			rest &= rest - 1
+			if r.bits[i]&live == 0 {
+				removed |= 1 << uint(i)
 			}
 		}
-	}
-	queue := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			queue = append(queue, i)
+		if removed == 0 {
+			return false
 		}
+		live &^= removed
 	}
-	seen := 0
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		seen++
-		for j := 0; j < n; j++ {
-			if r.Has(v, j) {
-				indeg[j]--
-				if indeg[j] == 0 {
-					queue = append(queue, j)
-				}
+	return true
+}
+
+// acyclicBig is the multi-word path of Acyclic, for relations over more
+// than 64 events.
+func (r *Relation) acyclicBig() bool {
+	words := r.words
+	live := make([]uint64, words)
+	for i := 0; i < r.n; i++ {
+		live[i/wordBits] |= 1 << (uint(i) % wordBits)
+	}
+	liveCount := r.n
+	for liveCount > 0 {
+		removed := 0
+		for i := 0; i < r.n; i++ {
+			if live[i/wordBits]&(1<<(uint(i)%wordBits)) == 0 {
+				continue
+			}
+			row := r.row(i)
+			out := uint64(0)
+			for w := 0; w < words; w++ {
+				out |= row[w] & live[w]
+			}
+			if out == 0 {
+				live[i/wordBits] &^= 1 << (uint(i) % wordBits)
+				removed++
 			}
 		}
+		if removed == 0 {
+			return false
+		}
+		liveCount -= removed
 	}
-	return seen == n
+	return true
 }
 
 // TopoSort returns one linear extension of the relation (a total order
-// consistent with it), or an error if the relation is cyclic. Among the
-// events available at each step the one with the smallest index is chosen,
-// so the result is deterministic.
+// consistent with it), or an error if the relation is cyclic — a self-edge
+// counts as a cycle. Among the events available at each step the one with
+// the smallest index is chosen, so the result is deterministic.
 func (r *Relation) TopoSort() ([]int, error) {
 	n := r.n
 	indeg := make([]int, n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if r.Has(i, j) {
+		row := r.row(i)
+		for w, word := range row {
+			for word != 0 {
+				j := w*wordBits + bits.TrailingZeros64(word)
 				indeg[j]++
+				word &= word - 1
 			}
 		}
 	}
-	var order []int
-	avail := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			avail = append(avail, i)
+	order := make([]int, 0, n)
+	emitted := make([]bool, n)
+	for len(order) < n {
+		next := -1
+		for i := 0; i < n; i++ {
+			if !emitted[i] && indeg[i] == 0 {
+				next = i
+				break
+			}
 		}
-	}
-	for len(avail) > 0 {
-		sort.Ints(avail)
-		v := avail[0]
-		avail = avail[1:]
-		order = append(order, v)
-		for j := 0; j < n; j++ {
-			if r.Has(v, j) {
+		if next < 0 {
+			return nil, fmt.Errorf("memmodel: relation is cyclic, no linear extension exists")
+		}
+		emitted[next] = true
+		order = append(order, next)
+		row := r.row(next)
+		for w, word := range row {
+			for word != 0 {
+				j := w*wordBits + bits.TrailingZeros64(word)
 				indeg[j]--
-				if indeg[j] == 0 {
-					avail = append(avail, j)
-				}
+				word &= word - 1
 			}
 		}
-	}
-	if len(order) != n {
-		return nil, fmt.Errorf("memmodel: relation is cyclic, no linear extension exists")
 	}
 	return order, nil
 }
 
-// ReachableBefore reports whether from reaches to through the relation
-// (i.e. the pair is in the transitive closure). The relation itself is not
-// modified.
+// ReachableBefore reports whether the pair (from, to) is in the transitive
+// closure: to is reachable from from along a non-empty path. With from ==
+// to this holds exactly when from lies on a cycle (including a self-edge).
+// The relation itself is not modified, and for relations of up to 64 events
+// the walk allocates nothing.
 func (r *Relation) ReachableBefore(from, to int) bool {
-	if from == to {
-		return false
+	if r.n <= wordBits {
+		return r.reachableWord(from, to)
 	}
-	n := r.n
-	visited := make([]bool, n)
-	stack := []int{from}
-	visited[from] = true
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for j := 0; j < n; j++ {
-			if r.Has(v, j) && !visited[j] {
-				if j == to {
-					return true
+	return r.reachableBig(from, to)
+}
+
+// reachableWord is the single-word fast path of ReachableBefore: frontier
+// expansion with one OR per step.
+func (r *Relation) reachableWord(from, to int) bool {
+	target := uint64(1) << uint(to)
+	reached := r.bits[from]
+	for {
+		if reached&target != 0 {
+			return true
+		}
+		next := reached
+		rest := reached
+		for rest != 0 {
+			i := bits.TrailingZeros64(rest)
+			rest &= rest - 1
+			next |= r.bits[i]
+		}
+		if next == reached {
+			return false
+		}
+		reached = next
+	}
+}
+
+// reachableBig is the multi-word path of ReachableBefore.
+func (r *Relation) reachableBig(from, to int) bool {
+	words := r.words
+	reached := make([]uint64, words)
+	copy(reached, r.row(from))
+	for {
+		if reached[to/wordBits]&(1<<(uint(to)%wordBits)) != 0 {
+			return true
+		}
+		changed := false
+		for i := 0; i < r.n; i++ {
+			if reached[i/wordBits]&(1<<(uint(i)%wordBits)) == 0 {
+				continue
+			}
+			row := r.row(i)
+			for w := 0; w < words; w++ {
+				if row[w]&^reached[w] != 0 {
+					reached[w] |= row[w]
+					changed = true
 				}
-				visited[j] = true
-				stack = append(stack, j)
 			}
 		}
+		if !changed {
+			return false
+		}
 	}
-	return false
 }
 
 // FindCycle returns one cycle in the relation as a sequence of event
 // indices (the last element reaches the first), or nil if the relation is
-// acyclic. Useful for diagnostics such as explaining why an execution is
-// forbidden.
+// acyclic. A self-edge yields a length-1 cycle. Useful for diagnostics such
+// as explaining why an execution is forbidden.
 func (r *Relation) FindCycle() []int {
 	n := r.n
 	const (
@@ -243,26 +368,28 @@ func (r *Relation) FindCycle() []int {
 	var dfs func(v int) bool
 	dfs = func(v int) bool {
 		color[v] = gray
-		for j := 0; j < n; j++ {
-			if !r.Has(v, j) {
-				continue
-			}
-			if color[j] == gray {
-				// Found a back edge; reconstruct the cycle j -> ... -> v.
-				cycle = []int{j}
-				for u := v; u != j && u != -1; u = parent[u] {
-					cycle = append(cycle, u)
-				}
-				// Reverse to get forward order starting at j.
-				for a, b := 0, len(cycle)-1; a < b; a, b = a+1, b-1 {
-					cycle[a], cycle[b] = cycle[b], cycle[a]
-				}
-				return true
-			}
-			if color[j] == white {
-				parent[j] = v
-				if dfs(j) {
+		row := r.row(v)
+		for w, word := range row {
+			for word != 0 {
+				j := w*wordBits + bits.TrailingZeros64(word)
+				word &= word - 1
+				if color[j] == gray {
+					// Found a back edge; reconstruct the cycle j -> ... -> v.
+					cycle = []int{j}
+					for u := v; u != j && u != -1; u = parent[u] {
+						cycle = append(cycle, u)
+					}
+					// Reverse to get forward order starting at j.
+					for a, b := 0, len(cycle)-1; a < b; a, b = a+1, b-1 {
+						cycle[a], cycle[b] = cycle[b], cycle[a]
+					}
 					return true
+				}
+				if color[j] == white {
+					parent[j] = v
+					if dfs(j) {
+						return true
+					}
 				}
 			}
 		}

@@ -27,14 +27,58 @@ func TestRelationAddHasRemove(t *testing.T) {
 	}
 }
 
-func TestRelationIgnoresSelfEdges(t *testing.T) {
+func TestRelationSelfEdgesAreRepresentable(t *testing.T) {
+	// The diagonal is representable: (i,i) is a length-1 cycle. This keeps
+	// the relation closed under TransitiveClosure — a self-edge surfaced by
+	// the closure can be copied into a derived relation verbatim.
 	r := NewRelation(3)
 	r.Add(1, 1)
-	if r.Has(1, 1) {
-		t.Fatal("self edges must be ignored")
+	if !r.Has(1, 1) {
+		t.Fatal("Add(1,1) must be representable")
 	}
-	if r.Count() != 0 {
-		t.Fatalf("Count = %d, want 0", r.Count())
+	if r.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", r.Count())
+	}
+	if r.Acyclic() {
+		t.Fatal("a self-edge is a length-1 cycle")
+	}
+	if !r.ReachableBefore(1, 1) {
+		t.Fatal("a self-edge puts 1 on a cycle: ReachableBefore(1,1) must hold")
+	}
+	if _, err := r.TopoSort(); err == nil {
+		t.Fatal("TopoSort must fail on a self-edge")
+	}
+	cycle := r.FindCycle()
+	if len(cycle) != 1 || cycle[0] != 1 {
+		t.Fatalf("FindCycle = %v, want the length-1 cycle [1]", cycle)
+	}
+	r.Remove(1, 1)
+	if r.Has(1, 1) || !r.Acyclic() {
+		t.Fatal("Remove(1,1) must restore acyclicity")
+	}
+}
+
+func TestRelationClosureSelfEdgeRoundTrips(t *testing.T) {
+	// A 2-cycle's transitive closure writes the diagonal; re-adding those
+	// pairs to a fresh relation must reproduce the closure exactly. Under
+	// the old semantics Add silently dropped (i,i) and the round trip lost
+	// the cycle evidence.
+	r := NewRelation(3)
+	r.Add(0, 1)
+	r.Add(1, 0)
+	closed := r.Clone().TransitiveClosure()
+	if !closed.Has(0, 0) || !closed.Has(1, 1) {
+		t.Fatal("closure of a 2-cycle must contain the diagonal")
+	}
+	rebuilt := NewRelation(3)
+	for _, p := range closed.Pairs() {
+		rebuilt.Add(p[0], p[1])
+	}
+	if rebuilt.Count() != closed.Count() {
+		t.Fatalf("rebuilt relation has %d pairs, closure has %d", rebuilt.Count(), closed.Count())
+	}
+	if rebuilt.Acyclic() {
+		t.Fatal("rebuilt closure must still be cyclic")
 	}
 }
 
@@ -278,6 +322,132 @@ func TestPropertyClosureContainsReachability(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// boolRelation is a straightforward []bool adjacency-matrix reference
+// implementation — the representation the bitset replaced. The property
+// test below checks the two agree operation by operation on random edge
+// sets, including self-edges and sizes straddling the 64-event word
+// boundary (which switches Acyclic/ReachableBefore between their
+// single-word and multi-word paths).
+type boolRelation struct {
+	n   int
+	adj []bool
+}
+
+func newBoolRelation(n int) *boolRelation { return &boolRelation{n: n, adj: make([]bool, n*n)} }
+
+func (r *boolRelation) add(i, j int)      { r.adj[i*r.n+j] = true }
+func (r *boolRelation) has(i, j int) bool { return r.adj[i*r.n+j] }
+
+func (r *boolRelation) closure() {
+	for k := 0; k < r.n; k++ {
+		for i := 0; i < r.n; i++ {
+			if !r.has(i, k) {
+				continue
+			}
+			for j := 0; j < r.n; j++ {
+				if r.has(k, j) {
+					r.add(i, j)
+				}
+			}
+		}
+	}
+}
+
+func (r *boolRelation) acyclic() bool {
+	// A relation is cyclic iff its transitive closure touches the diagonal.
+	c := newBoolRelation(r.n)
+	copy(c.adj, r.adj)
+	c.closure()
+	for i := 0; i < r.n; i++ {
+		if c.has(i, i) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPropertyBitsetMatchesBoolMatrix(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		// Sizes 2..80: crossing 64 exercises the multi-word bitset paths.
+		n := 2 + local.Intn(79)
+		bits := NewRelation(n)
+		ref := newBoolRelation(n)
+		edges := 1 + local.Intn(3*n)
+		for e := 0; e < edges; e++ {
+			i, j := local.Intn(n), local.Intn(n) // self-edges included
+			bits.Add(i, j)
+			ref.add(i, j)
+		}
+		// A few removals, mirrored.
+		for e := 0; e < edges/4; e++ {
+			i, j := local.Intn(n), local.Intn(n)
+			bits.Remove(i, j)
+			ref.adj[i*n+j] = false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if bits.Has(i, j) != ref.has(i, j) {
+					return false
+				}
+			}
+		}
+		// Union against a second random relation.
+		other := NewRelation(n)
+		for e := 0; e < n; e++ {
+			i, j := local.Intn(n), local.Intn(n)
+			other.Add(i, j)
+			ref.add(i, j)
+		}
+		bits.Union(other)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if bits.Has(i, j) != ref.has(i, j) {
+					return false
+				}
+			}
+		}
+		// Acyclicity must agree before closure...
+		if bits.Acyclic() != ref.acyclic() {
+			return false
+		}
+		// ...and TopoSort must succeed exactly on the acyclic ones, with an
+		// order consistent with every edge.
+		order, err := bits.TopoSort()
+		if (err == nil) != ref.acyclic() {
+			return false
+		}
+		if err == nil {
+			pos := make([]int, n)
+			for i, v := range order {
+				pos[v] = i
+			}
+			for _, p := range bits.Pairs() {
+				if pos[p[0]] >= pos[p[1]] {
+					return false
+				}
+			}
+		}
+		// Closure and reachability must match the reference closure.
+		ref.closure()
+		closed := bits.Clone().TransitiveClosure()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if closed.Has(i, j) != ref.has(i, j) {
+					return false
+				}
+				if bits.ReachableBefore(i, j) != ref.has(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
 	}
 }

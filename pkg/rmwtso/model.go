@@ -27,8 +27,16 @@ type Instr = memmodel.Instr
 type ModifyFunc = memmodel.ModifyFunc
 
 // Execution is one candidate execution of a litmus program: events plus a
-// reads-from map and per-location write serializations.
+// reads-from assignment and per-location write serializations. Executions
+// received by enumeration visitors are owned by the enumerator's arena
+// and valid only for the duration of the visit; use Execution.Clone to
+// retain one.
 type Execution = memmodel.Execution
+
+// ErrSpaceTooLarge is returned (wrapped) by the enumeration entry points
+// when a program's candidate space does not fit in an int; test for it
+// with errors.Is.
+var ErrSpaceTooLarge = memmodel.ErrSpaceTooLarge
 
 // NewProgram returns an empty program with the given name.
 func NewProgram(name string) *Program { return memmodel.NewProgram(name) }
@@ -60,14 +68,19 @@ func RMWInstr(addr Addr, reg string, modify ModifyFunc) Instr {
 }
 
 // EnumerateExecutions materializes every candidate execution of the
-// program. Prefer EnumerateExecutionsFunc when scanning: it allocates one
-// execution at a time instead of the whole candidate set.
+// program, each cloned out of the enumerator's arena so the returned
+// executions remain valid indefinitely. Prefer EnumerateExecutionsFunc
+// when scanning: its per-candidate loop reuses one arena slot and
+// allocates nothing in steady state.
 func EnumerateExecutions(p *Program) ([]*Execution, error) { return memmodel.Enumerate(p) }
 
 // EnumerateExecutionsFunc streams every candidate execution of the program
 // to visit, one at a time. Returning false stops the enumeration early.
 // The visited executions are candidates only; filter them with
-// Model.Valid (or use Model.ValidExecutionsFunc).
+// Model.Valid (or use Model.ValidExecutionsFunc). Each execution is
+// arena-owned and valid only during its visit (Clone to retain), and a
+// program whose candidate space does not fit in an int fails with an
+// error wrapping ErrSpaceTooLarge.
 func EnumerateExecutionsFunc(p *Program, visit func(*Execution) bool) error {
 	return memmodel.EnumerateFunc(p, visit)
 }
@@ -78,14 +91,18 @@ func EnumerateExecutionsFunc(p *Program, visit func(*Execution) bool) error {
 // means GOMAXPROCS). visit is never called concurrently and receives the
 // executions in exactly the sequential EnumerateExecutionsFunc order;
 // returning false from visit cancels the remaining workers, and a
-// cancelled ctx aborts the enumeration with ctx's error.
+// cancelled ctx aborts the enumeration with ctx's error. The execution
+// lifetime contract is EnumerateExecutionsFunc's: arena-owned, Clone to
+// retain.
 func EnumerateExecutionsParallel(ctx context.Context, p *Program, workers int, visit func(*Execution) bool) error {
 	return memmodel.EnumerateParallel(ctx, p, workers, visit)
 }
 
 // CountCandidates returns the number of candidate executions the program
 // enumerates, without assembling them. Useful for bounding litmus-test
-// cost and for sizing the enumeration worker pool.
+// cost and for sizing the enumeration worker pool. A program whose
+// candidate space does not fit in an int yields an error wrapping
+// ErrSpaceTooLarge.
 func CountCandidates(p *Program) (int, error) { return memmodel.CountCandidates(p) }
 
 // AutoEnumWorkers returns the enumeration worker count the

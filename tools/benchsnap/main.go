@@ -10,6 +10,7 @@
 //	go run ./tools/benchsnap -out BENCH_v6.json                 refresh the committed snapshot
 //	go run ./tools/benchsnap -bench 'Enumerate' -out /tmp/b.json   a subset
 //	go run ./tools/benchsnap -check BENCH_v6.json               validate a snapshot (CI smoke)
+//	go run ./tools/benchsnap -compare -match 'Enumerate|Verdict' -threshold 1.25 old.json new.json
 //
 // The default benchmark set covers the hot paths the paper's evaluation
 // leans on: trace enumeration (materialized, streamed and parallel),
@@ -23,6 +24,13 @@
 // matches, the benchmark list is non-empty and every entry carries a
 // positive ns/op — the shape the smoke job pins so the format cannot
 // drift silently.
+//
+// -compare diffs two snapshots (old, then new) benchmark by benchmark
+// and fails when any benchmark selected by -match regressed: new ns/op
+// more than -threshold times old ns/op. Snapshots taken with -benchtime
+// 1x are noisy, so the default threshold is a deliberately generous
+// 1.25×; the gate is for order-of-magnitude regressions (a lost
+// optimization), not micro-drift.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -81,11 +90,25 @@ func main() {
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
 		pkgs      = flag.String("pkg", ".", "comma-separated packages to benchmark")
 		checkPath = flag.String("check", "", "validate this snapshot file instead of running benchmarks")
+		compare   = flag.Bool("compare", false, "compare two snapshot files (old new) instead of running benchmarks")
+		match     = flag.String("match", "", "with -compare: only compare benchmarks whose name matches this regex (default: all)")
+		threshold = flag.Float64("threshold", 1.25, "with -compare: fail when new ns/op exceeds old ns/op by more than this factor")
 	)
 	flag.Parse()
 
 	if *checkPath != "" {
 		if err := checkSnapshot(*checkPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchsnap: -compare needs exactly two snapshot files: old new")
+			os.Exit(2)
+		}
+		if err := compareSnapshots(flag.Arg(0), flag.Arg(1), *match, *threshold); err != nil {
 			fmt.Fprintln(os.Stderr, "benchsnap:", err)
 			os.Exit(1)
 		}
@@ -203,30 +226,94 @@ func parseBenchOutput(out string) ([]Benchmark, string, error) {
 	return results, cpu, nil
 }
 
-// checkSnapshot validates the shape CI pins: correct schema tag, a
-// non-empty benchmark list, and a positive ns/op on every entry.
-func checkSnapshot(path string) error {
+// readSnapshot loads and shape-validates one snapshot file.
+func readSnapshot(path string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var snap Snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if snap.SchemaVersion != SchemaVersion || snap.Kind != Kind {
-		return fmt.Errorf("%s: schema %d kind %q, want schema %d kind %q",
+		return nil, fmt.Errorf("%s: schema %d kind %q, want schema %d kind %q",
 			path, snap.SchemaVersion, snap.Kind, SchemaVersion, Kind)
 	}
 	if len(snap.Benchmarks) == 0 {
-		return fmt.Errorf("%s: snapshot has no benchmarks", path)
+		return nil, fmt.Errorf("%s: snapshot has no benchmarks", path)
 	}
 	for _, b := range snap.Benchmarks {
 		if !strings.HasPrefix(b.Name, "Benchmark") || b.NsPerOp <= 0 || b.Iterations <= 0 {
-			return fmt.Errorf("%s: implausible entry %+v", path, b)
+			return nil, fmt.Errorf("%s: implausible entry %+v", path, b)
 		}
+	}
+	return &snap, nil
+}
+
+// checkSnapshot validates the shape CI pins: correct schema tag, a
+// non-empty benchmark list, and a positive ns/op on every entry.
+func checkSnapshot(path string) error {
+	snap, err := readSnapshot(path)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("benchsnap: %s ok: %d benchmarks, %s %s/%s (%d cpus)\n",
 		path, len(snap.Benchmarks), snap.GoVersion, snap.GOOS, snap.GOARCH, snap.CPUs)
+	return nil
+}
+
+// compareSnapshots diffs the benchmarks two snapshots share (optionally
+// restricted by a name regex) and fails when any of them regressed in
+// ns/op past the threshold factor. Benchmarks present in only one
+// snapshot are skipped: the gate guards retained benchmarks, renames are
+// caught by requiring at least one comparable pair.
+func compareSnapshots(oldPath, newPath, match string, threshold float64) error {
+	var re *regexp.Regexp
+	if match != "" {
+		var err error
+		if re, err = regexp.Compile(match); err != nil {
+			return fmt.Errorf("-match: %w", err)
+		}
+	}
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldByName := make(map[string]Benchmark, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	compared, regressed := 0, 0
+	for _, nb := range newSnap.Benchmarks {
+		if re != nil && !re.MatchString(nb.Name) {
+			continue
+		}
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		ratio := nb.NsPerOp / ob.NsPerOp
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("benchsnap: %-60s %14.0f -> %14.0f ns/op (%.2fx) %s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, ratio, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmark appears in both %s and %s (match %q)", oldPath, newPath, match)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed past %.2fx (%s -> %s)",
+			regressed, compared, threshold, oldPath, newPath)
+	}
+	fmt.Printf("benchsnap: %d benchmarks within %.2fx (%s -> %s)\n", compared, threshold, oldPath, newPath)
 	return nil
 }

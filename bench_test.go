@@ -16,10 +16,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpp11"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/litmus"
 	"repro/internal/memmodel"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/workload"
 )
 
@@ -30,6 +32,16 @@ func benchOptions() experiments.Options {
 	o.Cores = 8
 	o.Scale = 0.25
 	return o
+}
+
+// runTable3 and runCpp11 run the benchmark sweeps through the execution
+// engine, the single runUnit path behind every sweep mode.
+func runTable3(o experiments.Options) ([]*experiments.BenchmarkRun, error) {
+	return engine.New().RunBenchmarks(o, experiments.Table3Specs())
+}
+
+func runCpp11(o experiments.Options) ([]*experiments.BenchmarkRun, error) {
+	return engine.New().RunBenchmarks(o, experiments.Cpp11Specs())
 }
 
 // BenchmarkTable1IdiomMatrix regenerates Table 1: model checking of the
@@ -61,7 +73,7 @@ func BenchmarkTable2Parameters(b *testing.B) {
 func BenchmarkTable3Characteristics(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		runs, err := experiments.RunTable3Benchmarks(o)
+		runs, err := runTable3(o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +117,7 @@ func BenchmarkTable4MappingValidation(b *testing.B) {
 func BenchmarkFig11aRMWCost(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		runs, err := experiments.RunTable3Benchmarks(o)
+		runs, err := runTable3(o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +146,7 @@ func BenchmarkFig11aRMWCost(b *testing.B) {
 func BenchmarkFig11bExecutionOverhead(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		runs, err := experiments.RunTable3Benchmarks(o)
+		runs, err := runTable3(o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +169,7 @@ func BenchmarkFig11bExecutionOverhead(b *testing.B) {
 func BenchmarkFig11Cpp11Variants(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		runs, err := experiments.RunCpp11Benchmarks(o)
+		runs, err := runCpp11(o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,6 +183,55 @@ func BenchmarkFig11Cpp11Variants(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkRunPlanOverhead measures the execution engine's dispatch cost
+// around a sweep: a Table 3 plan is run once to warm an in-memory result
+// cache, then every iteration re-runs the full plan against it, so each
+// unit is a cache hit and the measured time is the shared
+// submit → pool → runUnit → reassemble spine with zero simulation
+// inside. The snapshot gate tracks it so the engine layer stays
+// overhead-free relative to calling the simulator directly.
+func BenchmarkRunPlanOverhead(b *testing.B) {
+	o := benchOptions()
+	cache, err := simcache.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.Cache = cache
+	eng := engine.New(engine.WithCache(cache))
+	plan, err := engine.BuildPlan(o, experiments.Table3Specs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := eng.RunPlan(context.Background(), plan, engine.FullShard())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(warm.Units) != plan.Len() {
+		b.Fatalf("warm run covered %d units, want %d", len(warm.Units), plan.Len())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := eng.RunPlan(context.Background(), plan, engine.FullShard())
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs, err := plan.Runs(sr.Units)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(runs) != 7 {
+			b.Fatalf("plan reassembled %d runs, want 7", len(runs))
+		}
+	}
+	b.StopTimer()
+	if m := eng.Metrics(); m.CacheMisses != plan.Len() {
+		b.Fatalf("%d cache misses after warm-up, want %d (warm run only) — the overhead run simulated",
+			m.CacheMisses, plan.Len())
+	}
+	b.ReportMetric(float64(plan.Len()), "units/op")
 }
 
 // BenchmarkAblationBloomFilterOverhead measures what the addr-list protocol

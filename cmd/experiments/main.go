@@ -92,6 +92,7 @@ func main() {
 		cores    = flag.Int("cores", 0, "override the number of simulated cores")
 		scale    = flag.Float64("scale", 0, "override the workload scale factor")
 		seed     = flag.Int64("seed", 0, "override the workload seed")
+		seeds    = flag.Int("seeds", 0, "rerun the sweep under this many consecutive seeds (base -seed) and report cross-seed mean/CI statistics")
 		par      = flag.Int("j", 0, "simulation worker-pool parallelism (default: GOMAXPROCS)")
 		enumW    = flag.Int("enum-workers", 0, "goroutines per model-checking verdict (default: auto by candidate count)")
 		progress = flag.Bool("progress", false, "stream per-run progress while simulating")
@@ -140,6 +141,9 @@ func main() {
 	}
 	if *par < 0 {
 		fatalUsage(fmt.Errorf("-j must be non-negative, got %d", *par))
+	}
+	if *seeds < 0 || (*seeds == 0 && flagWasSet("seeds")) {
+		fatalUsage(fmt.Errorf("-seeds must be positive, got %d", *seeds))
 	}
 
 	// Coordination modes are mutually exclusive roles of the same sweep.
@@ -202,6 +206,15 @@ func main() {
 	check(err)
 	opts.Cache = cache
 
+	// The seed list of the sweep: the base seed alone, or -seeds
+	// consecutive seeds starting at it. Every mode (plan pipeline and
+	// legacy tables) derives its work from this one list, so the plan
+	// fingerprints of a multi-seed fleet agree.
+	seedList := []int64{opts.Seed}
+	for s := int64(1); s < int64(*seeds); s++ {
+		seedList = append(seedList, opts.Seed+s)
+	}
+
 	// Coordinated roles share the sweep Runner; the configuration is the
 	// same on every side so the plan fingerprints agree.
 	var coordOpts []rmwtso.Option
@@ -231,7 +244,7 @@ func main() {
 		if *listU && *format != "" {
 			fatalUsage(fmt.Errorf("-list-units prints the plan listing; -format only applies to full reports"))
 		}
-		plan, err := rmwtso.DefaultPlan(opts)
+		plan, err := rmwtso.DefaultPlanSeeds(opts, seedList...)
 		check(err)
 
 		switch {
@@ -363,17 +376,32 @@ func main() {
 	runner := newRunner(*par, cache, *progress)
 
 	fmt.Printf("Simulating the Table 3 benchmark set (%d cores, scale %.2f)...\n\n", opts.Cores, opts.Scale)
-	runs, err := runner.RunTable3Benchmarks(opts)
+	runs, err := runner.RunBenchmarksSeeds(opts, rmwtso.Table3Specs(), seedList...)
 	check(err)
-	cppRuns, err := runner.RunCpp11Benchmarks(opts)
+	cppRuns, err := runner.RunBenchmarksSeeds(opts, rmwtso.Cpp11Specs(), seedList...)
 	check(err)
 	allRuns := append(append([]*rmwtso.BenchmarkRun{}, runs...), cppRuns...)
 
+	// Multi-seed sweeps render the per-seed sections from the base seed
+	// (matching BuildReport) and append the cross-seed statistics.
+	baseOf := func(in []*rmwtso.BenchmarkRun) []*rmwtso.BenchmarkRun {
+		if len(seedList) <= 1 {
+			return in
+		}
+		var out []*rmwtso.BenchmarkRun
+		for _, r := range in {
+			if r.Seed == opts.Seed {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+
 	if *all || *table == "3" {
-		fmt.Println(rmwtso.RenderTable3(rmwtso.Table3FromRuns(runs)))
+		fmt.Println(rmwtso.RenderTable3(rmwtso.Table3FromRuns(baseOf(runs))))
 		fmt.Println()
 	}
-	figA, figB := rmwtso.Fig11FromRuns(allRuns)
+	figA, figB := rmwtso.Fig11FromRuns(baseOf(allRuns))
 	if *all || *fig == "11a" {
 		fmt.Println(rmwtso.RenderFig11a(figA))
 		fmt.Println()
@@ -384,6 +412,10 @@ func main() {
 	}
 	if *all || *summary {
 		fmt.Println(rmwtso.Summarize(figA, figB).Render())
+	}
+	if aggs := rmwtso.AggregateSeeds(allRuns); len(aggs) > 0 {
+		fmt.Println()
+		fmt.Println(rmwtso.RenderSeedAggregates(aggs))
 	}
 	reportCache(cache)
 }

@@ -1,22 +1,24 @@
-package experiments
+package engine_test
 
 import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 // withCoordination attaches a representative coordination section.
-func withCoordination(r *Report) *Report {
-	r.Coordination = &Coordination{
+func withCoordination(r *experiments.Report) *experiments.Report {
+	r.Coordination = &experiments.Coordination{
 		Mode: "in-process",
-		Workers: []CoordWorker{
+		Workers: []experiments.CoordWorker{
 			{Worker: "worker-0", Units: 14, Retries: 1, Expired: 0},
 			{Worker: "worker-1", Units: 12, Retries: 0, Expired: 1},
 		},
 		Retries: 2,
 		Expired: 1,
-		DeadLetters: []DeadUnit{{
+		DeadLetters: []experiments.DeadUnit{{
 			Unit: "deadbeef00112233", Trace: "wsq-mst", Type: "type-2",
 			Attempts: 3,
 			Reasons:  []string{"simulated deadlock", "simulated deadlock", "simulated deadlock"},
@@ -30,8 +32,8 @@ func withCoordination(r *Report) *Report {
 // dead-lettered unit must all be visible.
 func TestCoordinationSectionRendered(t *testing.T) {
 	report := withCoordination(mustBuildTestReport(t))
-	for _, format := range Formats() {
-		enc, err := NewEncoder(format)
+	for _, format := range experiments.Formats() {
+		enc, err := experiments.NewEncoder(format)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,8 +55,8 @@ func TestCoordinationSectionRendered(t *testing.T) {
 // byte-identity with pre-coordination reports.
 func TestCoordinationSectionOmitted(t *testing.T) {
 	report := mustBuildTestReport(t)
-	for _, format := range Formats() {
-		enc, err := NewEncoder(format)
+	for _, format := range experiments.Formats() {
+		enc, err := experiments.NewEncoder(format)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,10 +75,10 @@ func TestCoordinationSectionOmitted(t *testing.T) {
 func TestCoordinationJSONRoundTrips(t *testing.T) {
 	report := withCoordination(mustBuildTestReport(t))
 	var b bytes.Buffer
-	if err := (JSONEncoder{}).Encode(&b, report); err != nil {
+	if err := (experiments.JSONEncoder{}).Encode(&b, report); err != nil {
 		t.Fatal(err)
 	}
-	back, err := DecodeReportJSON(b.Bytes())
+	back, err := experiments.DecodeReportJSON(b.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestCoordinationJSONRoundTrips(t *testing.T) {
 
 // mustBuildTestReport adapts the report fixture shared with the encoder
 // tests.
-func mustBuildTestReport(t *testing.T) *Report {
+func mustBuildTestReport(t *testing.T) *experiments.Report {
 	t.Helper()
 	r, _ := buildTestReport(t)
 	return r

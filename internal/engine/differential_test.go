@@ -1,0 +1,192 @@
+package engine_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/litmus"
+)
+
+// update regenerates the report golden files instead of diffing:
+//
+//	go test ./internal/engine -run TestEngineModesDifferential -update
+var update = flag.Bool("update", false, "rewrite the report golden files instead of diffing")
+
+// diffOptions pin the differential sweep's shape; the goldens embed its
+// numbers, so changing it requires -update.
+func diffOptions() experiments.Options {
+	return experiments.Options{Cores: 4, Scale: 0.05, Seed: 20130601}
+}
+
+// fullGrid is the complete benchmark grid: the seven Table 3 benchmarks
+// plus the wsq-mst C/C++11 replacement variants.
+func fullGrid() []experiments.BenchmarkSpec {
+	return append(experiments.Table3Specs(), experiments.Cpp11Specs()...)
+}
+
+// submitPlan pushes one plan job through engine.Submit — the service
+// entry point, not the RunPlan convenience wrapper — and reassembles the
+// runs.
+func submitPlan(t *testing.T, eng *engine.Engine, plan *engine.Plan, shard engine.Shard) *engine.ShardResult {
+	t.Helper()
+	h, err := eng.Submit(nil, engine.Job{Plan: plan, Shard: shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shard == nil {
+		t.Fatal("plan job returned no shard result")
+	}
+	return res.Shard
+}
+
+// TestEngineModesDifferential is the engine-vs-legacy differential: the
+// full benchmark grid submitted through engine.Submit in static, sharded
+// and coordinated modes must produce deeply equal runs, and the report
+// built from them must encode byte-identically to the blessed goldens in
+// every format. Run with -race in CI; bless intentional result changes
+// with -update.
+func TestEngineModesDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep skipped in -short mode")
+	}
+	o := diffOptions()
+	plan, err := engine.BuildPlan(o, fullGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Static: one unsharded plan job.
+	staticRes := submitPlan(t, engine.New(), plan, engine.FullShard())
+	staticRuns, err := plan.Runs(staticRes.Units)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sharded: three round-robin shards on fresh engines, merged.
+	var shards []*engine.ShardResult
+	for i := 0; i < 3; i++ {
+		shard, err := engine.ParseShard(fmt.Sprintf("%d/3", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, submitPlan(t, engine.New(), plan, shard))
+	}
+	mergedRuns, err := engine.MergeShards(plan, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinated: the same grid through the pull queue.
+	coordEng := engine.New(engine.WithCoordinator(engine.CoordinationConfig{Workers: 3}))
+	coordRes := submitPlan(t, coordEng, plan, engine.FullShard())
+	coordRuns, err := plan.Runs(coordRes.Units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coordRes.Coordination == nil {
+		t.Fatal("coordinated shard result carries no coordination summary")
+	}
+
+	for name, got := range map[string][]*experiments.BenchmarkRun{
+		"sharded-merged": mergedRuns, "coordinated": coordRuns,
+	} {
+		if !reflect.DeepEqual(got, staticRuns) {
+			t.Errorf("%s runs differ from the static submission", name)
+		}
+	}
+
+	// Byte-identity against the blessed goldens, in every format.
+	report, err := experiments.BuildReport(o, staticRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range experiments.Formats() {
+		enc, err := experiments.NewEncoder(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := enc.Encode(&b, report); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", "report_"+format+".golden")
+		if *update {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s", path)
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading golden (run with -update to create it): %v", err)
+		}
+		if !bytes.Equal(b.Bytes(), want) {
+			t.Errorf("%s encoding drifted from %s (%d vs %d bytes); bless intentional changes with -update",
+				format, path, b.Len(), len(want))
+		}
+	}
+}
+
+// TestEngineLitmusDifferential pushes the full litmus registry through
+// engine.Submit and checks every verdict against a direct, engine-free
+// Test.Run — the two paths must agree on every field (the engine
+// additionally stamps the unit ID).
+func TestEngineLitmusDifferential(t *testing.T) {
+	tests := litmus.AllTests()
+	eng := engine.New()
+	h, err := eng.Submit(nil, engine.Job{Litmus: &engine.LitmusGrid{Tests: tests}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := eng.Types()
+	if len(res.Verdicts) != len(tests)*len(types) {
+		t.Fatalf("%d verdicts, want %d", len(res.Verdicts), len(tests)*len(types))
+	}
+	i := 0
+	for _, tst := range tests {
+		for _, typ := range types {
+			got := res.Verdicts[i]
+			i++
+			if got.Unit == "" {
+				t.Errorf("%s under %s: engine verdict has no unit ID", tst.Name, typ)
+			}
+			want, err := tst.Run(typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Unit = "" // direct runs carry no unit ID
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s under %s: engine verdict differs from direct run\n got: %+v\nwant: %+v",
+					tst.Name, typ, got, want)
+			}
+		}
+	}
+
+	// The convenience wrapper is the same dispatch path.
+	direct, err := eng.CheckTests(tests...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, res.Verdicts) {
+		t.Fatal("CheckTests differs from Submit of the same grid")
+	}
+}

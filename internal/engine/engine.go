@@ -1,0 +1,306 @@
+// Package engine owns the execution lifecycle of the reproduction's work
+// units: submit a job (a simulation plan or a litmus verdict grid), fan
+// its units across a worker pool — or a coordinated pull queue — through
+// the single runUnit execution path, stream progress as typed Events,
+// and expose the finished results plus a Metrics snapshot. The public
+// facade (pkg/rmwtso) is a thin adapter over this package: its Runner
+// wraps an Engine, its plan/shard/artifact types alias the ones defined
+// here, and its error strings are minted here (hence the "rmwtso:"
+// prefixes — they are part of the facade's pinned surface).
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cpp11"
+	"repro/internal/experiments"
+	"repro/internal/litmus"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+	"repro/internal/workload"
+)
+
+// Aliases for the internal types the engine orchestrates. The facade
+// re-exports these same types under its own names, so results flow from
+// the engine to the public API without conversion.
+type (
+	// AtomicityType selects one of the paper's RMW atomicity definitions.
+	AtomicityType = core.AtomicityType
+	// Test and TestResult are one litmus test and its per-type verdict.
+	Test = litmus.Test
+	// TestResult is the verdict of one (test, atomicity type) unit.
+	TestResult = litmus.Result
+	// Cpp11Program and MappingResult are one C/C++11 validation program
+	// and the soundness verdict of one (program, mapping, type) unit.
+	Cpp11Program = cpp11.Program
+	// MappingResult is one mapping-validation verdict.
+	MappingResult = cpp11.ValidationResult
+	// SimConfig, Trace, TraceSource and SimResult are the simulator's
+	// configuration, trace forms and run statistics.
+	SimConfig = sim.Config
+	// Trace is a materialized per-core trace.
+	Trace = sim.Trace
+	// TraceSource is the lazy, streaming trace form.
+	TraceSource = sim.TraceSource
+	// SimResult holds one run's statistics.
+	SimResult = sim.Result
+	// Replacement selects a wsq-mst C/C++11 replacement variant.
+	Replacement = workload.Replacement
+	// CacheKey identifies one cached result.
+	CacheKey = simcache.Key
+	// Options, BenchmarkSpec and BenchmarkRun are the experiment-harness
+	// configuration and sweep data model.
+	Options = experiments.Options
+	// BenchmarkSpec names one benchmark × variant × types sweep column.
+	BenchmarkSpec = experiments.BenchmarkSpec
+	// BenchmarkRun holds one benchmark's per-type results.
+	BenchmarkRun = experiments.BenchmarkRun
+	// Coordination, CoordWorker and DeadUnit are the report model's
+	// coordination-metadata section.
+	Coordination = experiments.Coordination
+	// CoordWorker is one worker's traffic summary.
+	CoordWorker = experiments.CoordWorker
+	// DeadUnit is one dead-lettered unit in the report model.
+	DeadUnit = experiments.DeadUnit
+)
+
+// Event is one streamed result from the engine: exactly one field is
+// non-nil. Events are delivered to the observer serially (never
+// concurrently), in completion order, as soon as each work unit finishes.
+type Event struct {
+	// Litmus is set when the unit was one litmus verdict.
+	Litmus *TestResult
+	// Mapping is set when the unit was one C/C++11 mapping validation.
+	Mapping *MappingResult
+	// Sim is set when the unit was one simulator run.
+	Sim *SimRun
+	// Coord is set for coordination state transitions of a dynamically
+	// coordinated sweep (lease, requeue, dead-letter, …), streamed
+	// alongside the SimRun events of the same sweep.
+	Coord *CoordEvent
+}
+
+// Observer receives streamed events. It is called from worker goroutines
+// but never concurrently, so it needs no locking of its own.
+type Observer func(Event)
+
+// ChannelObserver adapts a channel into an Observer. The caller owns the
+// channel and must drain it; sends block the pool when the channel is
+// unbuffered.
+func ChannelObserver(ch chan<- Event) Observer {
+	return func(e Event) { ch <- e }
+}
+
+// SimRun is one simulator run of a sweep: one trace under one RMW type.
+type SimRun struct {
+	// Unit is the run's stable plan-unit identifier (derived from the
+	// content-addressed cache key), so streamed progress events correlate
+	// with Plan entries without reconstructing the (trace, type, seed)
+	// tuple. It is empty for runs outside the unit model (SweepTraces and
+	// uncacheable SweepSource runs, whose key material is unknown).
+	Unit UnitID
+	// Trace is the name of the simulated trace.
+	Trace string
+	// Type is the RMW atomicity type the run used.
+	Type AtomicityType
+	// Result holds the run's statistics.
+	Result *SimResult
+	// CacheHit marks a run served from the engine's result cache: no
+	// simulator executed for it. Observers can count hits to verify a
+	// warm sweep did zero simulation work.
+	CacheHit bool
+}
+
+// options collects the Engine configuration set by functional options.
+type options struct {
+	ctx         context.Context
+	parallelism int
+	enumWorkers int
+	observer    Observer
+	types       []AtomicityType
+	cache       *simcache.Cache
+	coord       *CoordinationConfig
+}
+
+// Option configures an Engine.
+type Option func(*options)
+
+// WithContext makes the Engine honour ctx: cancellation stops the sweep
+// before the next work unit and the in-flight results are discarded; the
+// method returns ctx's error.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
+}
+
+// WithParallelism sets the worker-pool size. Values below 1 mean 1; the
+// default is runtime.GOMAXPROCS(0).
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
+// WithObserver streams every finished work unit to fn as it completes,
+// in completion order. fn is never called concurrently.
+func WithObserver(fn Observer) Option {
+	return func(o *options) { o.observer = fn }
+}
+
+// WithEnumWorkers sets how many goroutines each single litmus verdict or
+// mapping validation fans its candidate enumeration across. The default,
+// 0, picks per program via the candidate-count heuristic.
+func WithEnumWorkers(n int) Option {
+	return func(o *options) { o.enumWorkers = n }
+}
+
+// WithCache makes the Engine consult (and fill) a content-addressed
+// result cache: litmus verdicts and plan/sweep simulator runs. Hits skip
+// the computation entirely and are flagged on the streamed event; results
+// are identical either way. A nil cache disables caching (the default).
+func WithCache(c *simcache.Cache) Option {
+	return func(o *options) { o.cache = c }
+}
+
+// WithRMWTypes restricts the atomicity types the Engine checks or sweeps.
+// The default is all three types.
+func WithRMWTypes(types ...AtomicityType) Option {
+	return func(o *options) { o.types = append([]AtomicityType(nil), types...) }
+}
+
+// Engine fans work units — litmus verdicts, mapping validations,
+// simulator runs — across a goroutine pool, streaming each finished unit
+// to the observer while returning aggregates in deterministic order. An
+// Engine is safe for repeated and concurrent use; each submitted job
+// runs its own pool.
+type Engine struct {
+	opts    options
+	emitMu  sync.Mutex
+	metrics metrics
+	store   *ResultStore
+}
+
+// New builds an Engine from the options.
+func New(opts ...Option) *Engine {
+	o := options{
+		ctx:         context.Background(),
+		parallelism: runtime.GOMAXPROCS(0),
+		types:       core.AllTypes(),
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.parallelism < 1 {
+		o.parallelism = 1
+	}
+	if len(o.types) == 0 {
+		o.types = core.AllTypes()
+	}
+	e := &Engine{opts: o}
+	e.store = NewResultStore(o.cache)
+	return e
+}
+
+// Types returns the atomicity types the Engine is configured with.
+func (e *Engine) Types() []AtomicityType {
+	return append([]AtomicityType(nil), e.opts.types...)
+}
+
+// Results returns the engine's result store: a lookup view over the
+// configured cache plus every shard artifact the engine has produced or
+// been fed (AddShard).
+func (e *Engine) Results() *ResultStore { return e.store }
+
+// emit delivers one event to the observer, serialized across workers.
+func (e *Engine) emit(ev Event) {
+	if e.opts.observer == nil {
+		return
+	}
+	e.emitMu.Lock()
+	defer e.emitMu.Unlock()
+	e.opts.observer(ev)
+}
+
+// runUnits executes run(0..n-1) on the worker pool under the Engine's
+// own context. It returns the context's error if cancelled, otherwise the
+// first unit error. Units are claimed in order but finish in any order;
+// each unit writes only its own result slot, so aggregates stay
+// deterministic.
+func (e *Engine) runUnits(n int, run func(int) error) error {
+	return e.runUnitsCtx(e.opts.ctx, n, run)
+}
+
+// runUnitsCtx is runUnits under an explicit context (plan jobs accept a
+// per-call context on top of the Engine's).
+func (e *Engine) runUnitsCtx(ctx context.Context, n int, run func(int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	workers := e.opts.parallelism
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil || failed() {
+					continue
+				}
+				if err := run(i); err != nil {
+					setErr(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// simulateSource runs one streaming source on the configuration.
+func simulateSource(cfg SimConfig, src TraceSource) (*SimResult, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunSource(src)
+}

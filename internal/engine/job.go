@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// Job is one unit of work submitted to the engine: exactly one of Plan
+// or Litmus must be set. Shard restricts the job to the units it covers
+// (the zero Shard covers everything), with the same round-robin /
+// predicate semantics for both job kinds.
+type Job struct {
+	// Plan runs the simulation units the shard selects, statically or —
+	// when the engine is configured with a coordinator — through the pull
+	// queue.
+	Plan *Plan
+	// Litmus model-checks a verdict grid: every (test, configured type)
+	// pair the shard selects.
+	Litmus *LitmusGrid
+	// Shard selects the subset of the job's units to execute.
+	Shard Shard
+}
+
+// LitmusGrid is the litmus-verdict form of a Job: the (test, type) grid
+// over the engine's configured atomicity types.
+type LitmusGrid struct {
+	// Tests are the litmus tests to check, in grid order.
+	Tests []*Test
+}
+
+// JobResult is the outcome of one finished job: Shard for plan jobs,
+// Verdicts for litmus jobs.
+type JobResult struct {
+	// Shard holds a plan job's unit results as a shard artifact.
+	Shard *ShardResult
+	// Verdicts holds a litmus job's selected verdicts in (test, type)
+	// order.
+	Verdicts []TestResult
+}
+
+// JobHandle tracks one submitted job. Wait blocks for the result; Done
+// exposes completion for select loops; Metrics snapshots the job's
+// progress counters at any time, including while the job runs.
+type JobHandle struct {
+	done chan struct{}
+	res  *JobResult
+	err  error
+	m    *metrics
+}
+
+// Done is closed when the job has finished (successfully or not).
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the job finishes and returns its result. A
+// coordinated plan that drained with dead letters returns a
+// *DeadLetterError exactly like the facade's RunPlan.
+func (h *JobHandle) Wait() (*JobResult, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+// Metrics snapshots the job's progress counters. Safe to call while the
+// job is still running; after completion the snapshot is final.
+func (h *JobHandle) Metrics() Metrics { return h.m.snapshot() }
+
+// Submit starts the job on the engine and returns a handle for it. A nil
+// ctx uses the engine's context (WithContext). The job executes
+// asynchronously on the engine's worker pool; all execution errors —
+// including shard validation — surface through the handle's Wait, and
+// every finished unit streams to the engine's observer as it completes.
+// A malformed job (neither or both of Plan and Litmus) is rejected
+// synchronously.
+func (e *Engine) Submit(ctx context.Context, job Job) (*JobHandle, error) {
+	if (job.Plan == nil) == (job.Litmus == nil) {
+		return nil, fmt.Errorf("rmwtso: a job needs exactly one of a plan or a litmus grid")
+	}
+	if ctx == nil {
+		ctx = e.opts.ctx
+	}
+	h := &JobHandle{done: make(chan struct{}), m: newJobMetrics(&e.metrics)}
+	go func() {
+		defer close(h.done)
+		switch {
+		case job.Plan != nil:
+			sr, err := e.runPlanJob(ctx, job.Plan, job.Shard, h.m)
+			if sr != nil {
+				e.store.AddShard(sr)
+			}
+			h.res, h.err = &JobResult{Shard: sr}, err
+		case job.Litmus != nil:
+			vs, err := e.checkTestsSharded(ctx, job.Shard, h.m, job.Litmus.Tests...)
+			h.res, h.err = &JobResult{Verdicts: vs}, err
+		}
+	}()
+	return h, nil
+}
+
+// runPlanJob dispatches a plan job to the static pool or the coordinated
+// pull queue, whichever the engine is configured for.
+func (e *Engine) runPlanJob(ctx context.Context, plan *Plan, shard Shard, m *metrics) (*ShardResult, error) {
+	if e.opts.coord != nil {
+		return e.runPlanCoordinated(ctx, plan, shard, m)
+	}
+	return e.runPlanStatic(ctx, plan, shard, m)
+}
+
+// RunPlan executes the units of the plan a shard selects and returns
+// their results as a shard artifact; it is Submit + Wait for a plan job.
+// Unit identities, order and results are exactly the plan's: running
+// shards 0..n-1 of a plan on n processes and merging the artifacts
+// (MergeShards) reconstructs the unsharded sweep bit for bit.
+func (e *Engine) RunPlan(ctx context.Context, plan *Plan, shard Shard) (*ShardResult, error) {
+	h, err := e.Submit(ctx, Job{Plan: plan, Shard: shard})
+	if err != nil {
+		return nil, err
+	}
+	res, err := h.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return res.Shard, nil
+}
+
+// CheckTests model-checks every test under every configured RMW type;
+// Submit + Wait for an unsharded litmus job.
+func (e *Engine) CheckTests(tests ...*Test) ([]TestResult, error) {
+	return e.CheckTestsSharded(FullShard(), tests...)
+}
+
+// CheckTestsSharded is CheckTests restricted to the verdict units the
+// shard selects; Submit + Wait for a sharded litmus job.
+func (e *Engine) CheckTestsSharded(shard Shard, tests ...*Test) ([]TestResult, error) {
+	h, err := e.Submit(nil, Job{Litmus: &LitmusGrid{Tests: tests}, Shard: shard})
+	if err != nil {
+		return nil, err
+	}
+	res, err := h.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return res.Verdicts, nil
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/coordinator"
+)
+
+// Metrics is a point-in-time snapshot of an engine's (or one job's)
+// execution counters: unit throughput, cache effectiveness, and — for
+// coordinated sweeps — the queue's lease/retry/DLQ state. The
+// coordination section of the report model is rebuilt from this snapshot
+// (Metrics.Coordination), so the report can never disagree with what the
+// engine measured.
+type Metrics struct {
+	// UnitsPlanned counts the units selected for execution; UnitsDone the
+	// units finished so far (including cache hits). For litmus jobs the
+	// units are verdicts.
+	UnitsPlanned int
+	UnitsDone    int
+	// CacheHits and CacheMisses count simulator units served from /
+	// missed by the result cache; VerdictCacheHits the litmus verdicts
+	// served from it.
+	CacheHits        int
+	CacheMisses      int
+	Verdicts         int
+	VerdictCacheHits int
+	// Elapsed is the time since the job (or engine) started counting;
+	// UnitsPerSec is UnitsDone over that window.
+	Elapsed     time.Duration
+	UnitsPerSec float64
+	// InflightLeases gauges the coordinated queue's currently leased
+	// units; Retries and Expired count requeues and lease expiries;
+	// DLQDepth the dead-lettered units.
+	InflightLeases int
+	Retries        int
+	Expired        int
+	DLQDepth       int
+	// Workers aggregates per-worker traffic of a coordinated sweep,
+	// sorted by worker name (empty for static runs, whose pool workers
+	// are anonymous).
+	Workers []WorkerMetrics
+	// DeadLetters lists the dead-lettered units with their failure
+	// history, sorted by unit ID.
+	DeadLetters []DeadLetterMetrics
+}
+
+// WorkerMetrics is one coordinated worker's traffic.
+type WorkerMetrics struct {
+	Worker  string
+	Units   int
+	Retries int
+	Expired int
+}
+
+// DeadLetterMetrics is one dead-lettered unit with its failure history.
+type DeadLetterMetrics struct {
+	Unit     UnitID
+	Trace    string
+	Type     string
+	Attempts int
+	Reasons  []string
+}
+
+// Coordination renders the snapshot's queue counters as the report
+// model's coordination section. The section is execution metadata — it
+// is exactly what coordinated sweeps attach to their ShardResult.
+func (m Metrics) Coordination(mode string) *Coordination {
+	c := &Coordination{Mode: mode, Retries: m.Retries, Expired: m.Expired}
+	for _, w := range m.Workers {
+		c.Workers = append(c.Workers, CoordWorker{
+			Worker: w.Worker, Units: w.Units, Retries: w.Retries, Expired: w.Expired,
+		})
+	}
+	for _, d := range m.DeadLetters {
+		c.DeadLetters = append(c.DeadLetters, DeadUnit{
+			Unit: string(d.Unit), Trace: d.Trace, Type: d.Type,
+			Attempts: d.Attempts, Reasons: append([]string(nil), d.Reasons...),
+		})
+	}
+	return c
+}
+
+// metrics is the engine's internal collector. One instance lives on the
+// Engine (the all-jobs aggregate) and one per job; job collectors chain
+// updates to the engine's through parent.
+type metrics struct {
+	mu     sync.Mutex
+	parent *metrics
+	start  time.Time
+
+	unitsPlanned     int
+	unitsDone        int
+	cacheHits        int
+	cacheMisses      int
+	verdicts         int
+	verdictCacheHits int
+
+	inflight int
+	retries  int
+	expired  int
+	workers  []WorkerMetrics
+	dead     []DeadLetterMetrics
+}
+
+// newJobMetrics builds a per-job collector chained to the engine's.
+func newJobMetrics(parent *metrics) *metrics {
+	return &metrics{parent: parent, start: time.Now()}
+}
+
+func (m *metrics) update(f func(*metrics)) {
+	m.mu.Lock()
+	f(m)
+	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.update(f)
+	}
+}
+
+// planned records the number of units a job selected.
+func (m *metrics) planned(n int) {
+	m.update(func(m *metrics) { m.unitsPlanned += n })
+}
+
+// unitDone records one finished simulator unit.
+func (m *metrics) unitDone(cacheHit bool) {
+	m.update(func(m *metrics) {
+		m.unitsDone++
+		if cacheHit {
+			m.cacheHits++
+		} else {
+			m.cacheMisses++
+		}
+	})
+}
+
+// verdictDone records one finished litmus verdict.
+func (m *metrics) verdictDone(cacheHit bool) {
+	m.update(func(m *metrics) {
+		m.unitsDone++
+		m.verdicts++
+		if cacheHit {
+			m.verdictCacheHits++
+		}
+	})
+}
+
+// coordEvent tracks the queue's live lease gauge from its event stream;
+// the authoritative retry/expiry/worker totals come from absorbSnapshot
+// when the queue drains.
+func (m *metrics) coordEvent(e coordinator.Event) {
+	switch string(e.Kind) {
+	case "lease":
+		m.update(func(m *metrics) { m.inflight++ })
+	case "ack", "nack", "expire":
+		m.update(func(m *metrics) {
+			if m.inflight > 0 {
+				m.inflight--
+			}
+		})
+	}
+}
+
+// absorbSnapshot copies the drained queue's final counters into the
+// collector, resolving dead-lettered unit IDs against the plan. It is
+// the one source the coordination report section is rebuilt from.
+func (m *metrics) absorbSnapshot(plan *Plan, snap coordinator.Snapshot) {
+	var workers []WorkerMetrics
+	for _, w := range snap.Workers {
+		workers = append(workers, WorkerMetrics{
+			Worker: w.Worker, Units: w.Acks, Retries: w.Nacks, Expired: w.Expired,
+		})
+	}
+	var dead []DeadLetterMetrics
+	for _, d := range snap.DeadLetters {
+		dm := DeadLetterMetrics{
+			Unit: UnitID(d.Task), Attempts: d.Attempts,
+			Reasons: append([]string(nil), d.Reasons...),
+		}
+		if u, ok := plan.Unit(UnitID(d.Task)); ok {
+			dm.Trace, dm.Type = u.Trace, u.Type.String()
+		}
+		dead = append(dead, dm)
+	}
+	m.update(func(m *metrics) {
+		m.retries += snap.Retries
+		m.expired += snap.Expired
+		m.inflight = 0
+		m.workers = append(m.workers, workers...)
+		m.dead = append(m.dead, dead...)
+	})
+}
+
+// snapshot renders the collector as a Metrics value.
+func (m *metrics) snapshot() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Metrics{
+		UnitsPlanned:     m.unitsPlanned,
+		UnitsDone:        m.unitsDone,
+		CacheHits:        m.cacheHits,
+		CacheMisses:      m.cacheMisses,
+		Verdicts:         m.verdicts,
+		VerdictCacheHits: m.verdictCacheHits,
+		InflightLeases:   m.inflight,
+		Retries:          m.retries,
+		Expired:          m.expired,
+		DLQDepth:         len(m.dead),
+		Workers:          append([]WorkerMetrics(nil), m.workers...),
+		DeadLetters:      append([]DeadLetterMetrics(nil), m.dead...),
+	}
+	if !m.start.IsZero() {
+		out.Elapsed = time.Since(m.start)
+	}
+	if secs := out.Elapsed.Seconds(); secs > 0 {
+		out.UnitsPerSec = float64(out.UnitsDone) / secs
+	}
+	return out
+}
+
+// Metrics snapshots the engine-wide aggregate across every job it has
+// run. Per-job snapshots come from the job's handle.
+func (e *Engine) Metrics() Metrics { return e.metrics.snapshot() }

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/simcache"
+)
+
+// ResultStore is the engine's result-lookup view: every unit result of
+// every shard artifact the engine has produced (or been fed with
+// AddShard), indexed by unit ID, backed by the content-addressed result
+// cache for units the store has not seen as artifacts. It answers "what
+// happened to unit X" without re-running anything, which is what a
+// service front end needs to serve result queries.
+type ResultStore struct {
+	cache *simcache.Cache
+
+	mu   sync.RWMutex
+	byID map[UnitID]UnitResult
+}
+
+// NewResultStore builds a store over an optional cache (nil is fine:
+// lookups then only see absorbed artifacts).
+func NewResultStore(cache *simcache.Cache) *ResultStore {
+	return &ResultStore{cache: cache, byID: map[UnitID]UnitResult{}}
+}
+
+// AddShard absorbs a shard artifact's unit results into the index. Later
+// absorptions of the same unit overwrite earlier ones (results for equal
+// unit IDs are equal by construction, so this only refreshes metadata
+// like CacheHit).
+func (s *ResultStore) AddShard(sr *ShardResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ur := range sr.Units {
+		s.byID[ur.Unit] = ur
+	}
+}
+
+// Len reports how many distinct units the store has absorbed.
+func (s *ResultStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// Unit returns the absorbed unit result with the given ID.
+func (s *ResultStore) Unit(id UnitID) (UnitResult, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ur, ok := s.byID[id]
+	return ur, ok
+}
+
+// Result resolves a unit ID to its simulation result: absorbed artifacts
+// first, then nothing — a bare ID cannot be looked up in the cache, whose
+// keys carry the full input material. Use Lookup with the full key for a
+// cache-backed query.
+func (s *ResultStore) Result(id UnitID) (*SimResult, bool) {
+	ur, ok := s.Unit(id)
+	if !ok || ur.Result == nil {
+		return nil, false
+	}
+	return ur.Result, true
+}
+
+// Lookup resolves a full content-addressed key: absorbed artifacts first
+// (by the key's derived unit ID), then the result cache. It reports
+// where the result came from via the fromCache flag.
+func (s *ResultStore) Lookup(key CacheKey) (res *SimResult, fromCache bool, ok bool) {
+	if r, found := s.Result(UnitID(key.UnitID())); found {
+		return r, false, true
+	}
+	if s.cache == nil {
+		return nil, false, false
+	}
+	if r, found := s.cache.GetSim(key); found {
+		return r, true, true
+	}
+	return nil, false, false
+}

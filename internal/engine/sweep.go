@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simcache"
+)
+
+// SweepTrace simulates one trace under every configured RMW type, one
+// run per work unit. The returned slice is ordered like the configured
+// types. The trace is shared read-only across the pool; this is
+// SweepSource over the trace's own source, since a materialized run is
+// defined as replaying the trace's streams.
+func (e *Engine) SweepTrace(cfg SimConfig, trace *Trace) ([]SimRun, error) {
+	return e.SweepSource(cfg, trace.Source())
+}
+
+// SweepSource simulates one streaming trace source under every configured
+// RMW type, one run per work unit, without ever materializing the trace:
+// each run pulls fresh per-core streams from the source, so peak memory is
+// bounded by the source's window regardless of trace length. The source's
+// Stream method must return independent iterators (Generator.Source and
+// Trace.Source both do), since the per-type runs consume it concurrently.
+// The returned slice is ordered like the configured types.
+func (e *Engine) SweepSource(cfg SimConfig, src TraceSource) ([]SimRun, error) {
+	return e.sweepSource(cfg, src, nil)
+}
+
+// sweepKeyMeta carries the workload identity a sweep needs to derive
+// cache keys; nil disables caching for the sweep.
+type sweepKeyMeta struct {
+	seed  int64
+	scale float64
+}
+
+// SweepSourceCached is SweepSource consulting the engine's cache
+// (WithCache), with the workload seed and scale that produced src
+// completing each run's cache key. Hits replay stored results (flagged
+// CacheHit on the run and its streamed event) without simulating; misses
+// run and are stored. Without a configured cache it behaves exactly like
+// SweepSource.
+func (e *Engine) SweepSourceCached(cfg SimConfig, src TraceSource, seed int64, scale float64) ([]SimRun, error) {
+	return e.sweepSource(cfg, src, &sweepKeyMeta{seed: seed, scale: scale})
+}
+
+// sweepSource is the shared per-type sweep; meta enables cache lookups.
+func (e *Engine) sweepSource(cfg SimConfig, src TraceSource, meta *sweepKeyMeta) ([]SimRun, error) {
+	types := e.opts.types
+	cache := e.opts.cache
+	if meta == nil {
+		cache = nil
+	}
+	runs := make([]SimRun, len(types))
+	err := e.runUnits(len(types), func(i int) error {
+		run := cfg.WithRMWType(types[i])
+		if err := run.Validate(); err != nil {
+			return err
+		}
+		var key simcache.Key
+		var unit UnitID
+		if meta != nil {
+			// The unit identity exists whenever the key material does,
+			// cache or no cache, so observers can correlate events with a
+			// plan built from the same inputs.
+			key = simcache.SimKey(run, src, meta.seed, meta.scale)
+			unit = UnitID(key.UnitID())
+		}
+		if cache != nil {
+			// Deadlocked entries are never stored, but a foreign one is
+			// also never served: deadlocks always re-execute.
+			if res, ok := cache.GetSim(key); ok && !res.Deadlocked {
+				runs[i] = SimRun{Unit: unit, Trace: src.Name(), Type: types[i], Result: res, CacheHit: true}
+				e.metrics.unitDone(true)
+				e.emit(Event{Sim: &runs[i]})
+				return nil
+			}
+		}
+		s, err := sim.New(run)
+		if err != nil {
+			return err
+		}
+		res, err := s.RunSource(src)
+		if err != nil {
+			return err
+		}
+		if cache != nil && !res.Deadlocked {
+			_ = cache.PutSim(key, res)
+		}
+		runs[i] = SimRun{Unit: unit, Trace: src.Name(), Type: types[i], Result: res}
+		e.metrics.unitDone(false)
+		e.emit(Event{Sim: &runs[i]})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// SweepTraces simulates every (trace, configured type) pair across the
+// pool. The returned slice is ordered (trace, type).
+func (e *Engine) SweepTraces(cfg SimConfig, traces ...*Trace) ([]SimRun, error) {
+	types := e.opts.types
+	type unit struct{ ti, yi int }
+	units := make([]unit, 0, len(traces)*len(types))
+	for ti := range traces {
+		for yi := range types {
+			units = append(units, unit{ti, yi})
+		}
+	}
+	runs := make([]SimRun, len(units))
+	err := e.runUnits(len(units), func(i int) error {
+		u := units[i]
+		s, err := sim.New(cfg.WithRMWType(types[u.yi]))
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(traces[u.ti])
+		if err != nil {
+			return err
+		}
+		runs[i] = SimRun{Trace: traces[u.ti].Name, Type: types[u.yi], Result: res}
+		e.metrics.unitDone(false)
+		e.emit(Event{Sim: &runs[i]})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}

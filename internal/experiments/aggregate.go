@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// SeedAggregate is the cross-seed statistics of one (benchmark, RMW type)
+// cell of a multi-seed sweep: the mean and 95% confidence half-width of
+// the per-RMW cost, the RMW execution-time overhead and the total cycle
+// count across the seeds. Single-seed sweeps have no aggregates — one
+// measurement carries no spread information.
+type SeedAggregate struct {
+	// Benchmark is the run name ("bayes", "wsq-mst_rr", ...), which embeds
+	// the replacement variant; Type is the RMW atomicity type of the cell.
+	Benchmark string             `json:"benchmark"`
+	Type      core.AtomicityType `json:"type"`
+	// Seeds lists the workload seeds aggregated over, in sweep order.
+	Seeds []int64 `json:"seeds"`
+	// MeanRMWCost and CI95RMWCost are the mean total per-RMW cost (cycles)
+	// and its 95% confidence half-width across the seeds.
+	MeanRMWCost float64 `json:"mean_rmw_cost"`
+	CI95RMWCost float64 `json:"ci95_rmw_cost"`
+	// MeanOverheadPct and CI95OverheadPct aggregate the share of execution
+	// time spent on RMWs (the Fig. 11(b) metric).
+	MeanOverheadPct float64 `json:"mean_overhead_pct"`
+	CI95OverheadPct float64 `json:"ci95_overhead_pct"`
+	// MeanCycles and CI95Cycles aggregate the total execution time.
+	MeanCycles float64 `json:"mean_cycles"`
+	CI95Cycles float64 `json:"ci95_cycles"`
+}
+
+// AggregateSeeds derives the cross-seed statistics from benchmark runs:
+// runs are grouped by (name, variant) — the name embeds the variant, and
+// BenchmarkRun.Seed disambiguates reruns of the same grid cell — and each
+// group with at least two distinct seeds contributes one aggregate per
+// RMW type it ran under. Groups measured under a single seed are dropped:
+// the result is nil (not empty) for a fully single-seed sweep, so the
+// report section is omitted rather than rendered hollow.
+func AggregateSeeds(runs []*BenchmarkRun) []SeedAggregate {
+	type groupKey struct {
+		name    string
+		variant string
+	}
+	type cell struct {
+		seeds    []int64
+		cost     []float64
+		overhead []float64
+		cycles   []float64
+	}
+	type group struct {
+		types []core.AtomicityType
+		cells map[core.AtomicityType]*cell
+	}
+	var order []groupKey
+	groups := map[groupKey]*group{}
+	for _, run := range runs {
+		k := groupKey{run.Name, run.Variant.String()}
+		g := groups[k]
+		if g == nil {
+			g = &group{cells: map[core.AtomicityType]*cell{}}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for _, typ := range core.AllTypes() {
+			res := run.ByType[typ]
+			if res == nil {
+				continue
+			}
+			c := g.cells[typ]
+			if c == nil {
+				c = &cell{}
+				g.cells[typ] = c
+				g.types = append(g.types, typ)
+			}
+			_, _, total := res.AvgRMWCost()
+			c.seeds = append(c.seeds, run.Seed)
+			c.cost = append(c.cost, total)
+			c.overhead = append(c.overhead, res.RMWOverheadPercent())
+			c.cycles = append(c.cycles, float64(res.Cycles))
+		}
+	}
+
+	var out []SeedAggregate
+	for _, k := range order {
+		g := groups[k]
+		for _, typ := range g.types {
+			c := g.cells[typ]
+			if len(distinctSeeds(c.seeds)) < 2 {
+				continue
+			}
+			a := SeedAggregate{Benchmark: k.name, Type: typ, Seeds: c.seeds}
+			a.MeanRMWCost, a.CI95RMWCost = stats.MeanCI95(c.cost)
+			a.MeanOverheadPct, a.CI95OverheadPct = stats.MeanCI95(c.overhead)
+			a.MeanCycles, a.CI95Cycles = stats.MeanCI95(c.cycles)
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// distinctSeeds returns the distinct values of a seed list, in order.
+func distinctSeeds(seeds []int64) []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RenderSeedAggregates renders the cross-seed statistics as a
+// fixed-width table (mean ± 95% CI per metric); empty input renders the
+// empty string.
+func RenderSeedAggregates(aggs []SeedAggregate) string {
+	if len(aggs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	n := len(aggs[0].Seeds)
+	fmt.Fprintf(&b, "Seed stability: mean ± 95%% CI over %d seeds\n", n)
+	t := stats.NewTable("", "Benchmark", "Type", "RMW cost", "Overhead", "Cycles")
+	for _, a := range aggs {
+		t.AddRow(a.Benchmark, a.Type.String(),
+			fmt.Sprintf("%.1f ± %.1f", a.MeanRMWCost, a.CI95RMWCost),
+			fmt.Sprintf("%.2f%% ± %.2f%%", a.MeanOverheadPct, a.CI95OverheadPct),
+			fmt.Sprintf("%.0f ± %.0f", a.MeanCycles, a.CI95Cycles))
+	}
+	b.WriteString(t.Render())
+	return b.String()
+}

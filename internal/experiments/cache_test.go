@@ -1,137 +1,15 @@
 package experiments
 
 import (
-	"reflect"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/simcache"
-	"repro/internal/workload"
 )
 
-// cacheTestOptions are small enough for the differential suite to run in
-// seconds while still exercising every RMW type.
-func cacheTestOptions() Options {
-	return Options{Cores: 4, Scale: 0.1, Seed: 20130601}
-}
-
-// cacheTestSpecs keeps the differential runs fast: two Table 3 benchmarks
-// under all three types plus one replacement variant.
-func cacheTestSpecs() []BenchmarkSpec {
-	specs := Table3Specs()[:2]
-	specs = append(specs, Cpp11Specs()[1])
-	return specs
-}
-
-// TestWarmVsColdDifferential runs the same spec set cold (empty cache),
-// memory-warm (same cache object), disk-warm (fresh cache over the same
-// directory, as a fresh process would see it) and uncached, and asserts
-// all four produce deeply equal runs and byte-identical Table 3 / Fig. 11
-// renderings — the cache must be invisible in the output.
-func TestWarmVsColdDifferential(t *testing.T) {
-	dir := t.TempDir()
-	o := cacheTestOptions()
-	specs := cacheTestSpecs()
-
-	uncached, err := runSpecs(o, specs)
-	if err != nil {
-		t.Fatalf("uncached run: %v", err)
-	}
-
-	cold, err := simcache.Open(simcache.WithDir(dir))
-	if err != nil {
-		t.Fatalf("Open: %v", err)
-	}
-	o.Cache = cold
-	coldRuns, err := runSpecs(o, specs)
-	if err != nil {
-		t.Fatalf("cold run: %v", err)
-	}
-	units := uint64(0)
-	for _, s := range specs {
-		units += uint64(len(s.Types))
-	}
-	if st := cold.Stats(); st.Misses != units || st.Stores != units || st.Hits() != 0 {
-		t.Fatalf("cold stats = %+v, want %d misses and stores, 0 hits", st, units)
-	}
-
-	memWarm, err := runSpecs(o, specs)
-	if err != nil {
-		t.Fatalf("memory-warm run: %v", err)
-	}
-	if st := cold.Stats(); st.MemoryHits != units {
-		t.Fatalf("memory-warm stats = %+v, want %d memory hits", st, units)
-	}
-
-	fresh, err := simcache.Open(simcache.WithDir(dir))
-	if err != nil {
-		t.Fatalf("Open fresh: %v", err)
-	}
-	o.Cache = fresh
-	diskWarm, err := runSpecs(o, specs)
-	if err != nil {
-		t.Fatalf("disk-warm run: %v", err)
-	}
-	if st := fresh.Stats(); st.DiskHits != units || st.Misses != 0 {
-		t.Fatalf("disk-warm stats = %+v, want %d disk hits and 0 misses", st, units)
-	}
-
-	for name, got := range map[string][]*BenchmarkRun{
-		"cold": coldRuns, "memory-warm": memWarm, "disk-warm": diskWarm,
-	} {
-		if !reflect.DeepEqual(got, uncached) {
-			t.Errorf("%s runs differ from the uncached baseline", name)
-		}
-	}
-
-	// Byte-identical tables and figures: the acceptance bar for warm runs.
-	wantT3 := RenderTable3(Table3FromRuns(uncached[:2]))
-	wantA, wantB := Fig11FromRuns(uncached)
-	for name, got := range map[string][]*BenchmarkRun{"memory-warm": memWarm, "disk-warm": diskWarm} {
-		if RenderTable3(Table3FromRuns(got[:2])) != wantT3 {
-			t.Errorf("%s Table 3 rendering differs", name)
-		}
-		gotA, gotB := Fig11FromRuns(got)
-		if !reflect.DeepEqual(gotA, wantA) || !reflect.DeepEqual(gotB, wantB) {
-			t.Errorf("%s Fig. 11 data differs", name)
-		}
-	}
-}
-
-// TestCacheDirOption exercises the CacheDir convenience path (no Cache
-// object): a run must leave disk entries addressable by the documented
-// key derivation.
-func TestCacheDirOption(t *testing.T) {
-	dir := t.TempDir()
-	o := cacheTestOptions()
-	o.CacheDir = dir
-	specs := Table3Specs()[:1]
-	if _, err := runSpecs(o, specs); err != nil {
-		t.Fatalf("runSpecs: %v", err)
-	}
-	c, err := simcache.Open(simcache.WithDir(dir))
-	if err != nil {
-		t.Fatalf("Open: %v", err)
-	}
-	cfg := o.BaseConfig().WithRMWType(core.Type2)
-	gen := workload.Generator{Cores: cfg.Cores, Seed: o.Seed}
-	src, err := gen.Source(o.ScaledProfile(specs[0].Profile))
-	if err != nil {
-		t.Fatalf("Source: %v", err)
-	}
-	key := simcache.SimKey(cfg, src, o.Seed, o.Scale)
-	res, ok := c.GetSim(key)
-	if !ok {
-		t.Fatalf("no disk entry for the documented key derivation")
-	}
-	if res.Workload != specs[0].Profile.Name || res.RMWType != core.Type2 {
-		t.Fatalf("cached entry identifies as %s/%s", res.Workload, res.RMWType)
-	}
-}
-
 // TestOptionsValidate covers the garbage inputs the harness must reject
-// before they reach the generator or a cache key.
+// before they reach the generator or a cache key. The engine's sweep
+// entry point is pinned to reject the same inputs in
+// internal/engine's TestRunBenchmarksValidates.
 func TestOptionsValidate(t *testing.T) {
 	cases := map[string]Options{
 		"negative cores":        {Cores: -1, Scale: 1},
@@ -142,9 +20,6 @@ func TestOptionsValidate(t *testing.T) {
 	for name, o := range cases {
 		if err := o.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted %+v", name, o)
-		}
-		if _, err := runSpecs(o, Table3Specs()[:1]); err == nil {
-			t.Errorf("%s: runSpecs accepted %+v", name, o)
 		}
 	}
 	if err := (Options{}).Validate(); err != nil {
@@ -168,31 +43,5 @@ func TestBaseConfigNormalizesRMWType(t *testing.T) {
 	}
 	if got.Digest() == "" || got.Digest() != o.BaseConfig().Digest() {
 		t.Fatalf("normalized digest not stable")
-	}
-}
-
-// TestGeneratorCoresFollowConfig pins the fix for the generator/simulator
-// core-count split: a core count supplied only through Options.Config
-// must drive the workload generator too, so the trace and the machine
-// agree.
-func TestGeneratorCoresFollowConfig(t *testing.T) {
-	cfg := sim.DefaultConfig().WithCores(4)
-	o := Options{Scale: 0.1, Seed: 1, Config: &cfg} // note: o.Cores == 0
-	runs, err := runSpecs(o, Table3Specs()[:1])
-	if err != nil {
-		t.Fatalf("runSpecs: %v", err)
-	}
-	res := runs[0].Result(core.Type1)
-	if len(res.PerCore) != 4 {
-		t.Fatalf("simulated %d cores, want 4", len(res.PerCore))
-	}
-	active := 0
-	for _, c := range res.PerCore {
-		if c.Reads+c.Writes+c.RMWs > 0 {
-			active++
-		}
-	}
-	if active != 4 {
-		t.Fatalf("%d of 4 cores executed work; generator and simulator disagree on the core count", active)
 	}
 }

@@ -34,6 +34,10 @@ func (ASCIIEncoder) Encode(w io.Writer, r *Report) error {
 	b.WriteString(asciiFig11b(r.Fig11b))
 	b.WriteString("\n")
 	b.WriteString(r.Summary.Render())
+	if len(r.SeedStats) > 0 {
+		b.WriteString("\n")
+		b.WriteString(RenderSeedAggregates(r.SeedStats))
+	}
 	if r.Coordination != nil {
 		b.WriteString("\n")
 		b.WriteString(asciiCoordination(r.Coordination))

@@ -132,6 +132,25 @@ func (CSVEncoder) Encode(w io.Writer, r *Report) error {
 		return err
 	}
 
+	// The seed_stats section exists only for multi-seed sweeps, so
+	// single-seed reports stay byte-identical to older encodings.
+	if len(r.SeedStats) > 0 {
+		var ss [][]string
+		for _, a := range r.SeedStats {
+			ss = append(ss, []string{a.Benchmark, a.Type.String(),
+				strconv.Itoa(len(a.Seeds)),
+				f(a.MeanRMWCost), f(a.CI95RMWCost),
+				f(a.MeanOverheadPct), f(a.CI95OverheadPct),
+				f(a.MeanCycles), f(a.CI95Cycles)})
+		}
+		if err := section("seed_stats", []string{"benchmark", "type", "seeds",
+			"mean_rmw_cost", "ci95_rmw_cost",
+			"mean_overhead_pct", "ci95_overhead_pct",
+			"mean_cycles", "ci95_cycles"}, ss); err != nil {
+			return err
+		}
+	}
+
 	// The coordination sections exist only for dynamically coordinated
 	// sweeps, so static reports stay byte-identical to older encodings.
 	if c := r.Coordination; c != nil {

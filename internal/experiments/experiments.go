@@ -167,6 +167,11 @@ type BenchmarkRun struct {
 	Variant workload.Replacement
 	// Name is the trace name ("bayes", "wsq-mst_rr", ...).
 	Name string
+	// Seed is the workload seed the run was generated with. The trace
+	// name does not embed the seed, so Seed — not Name — disambiguates
+	// the runs of a multi-seed sweep; report builders group by
+	// (Name, Variant, Seed).
+	Seed int64
 	// ByType maps each RMW atomicity type to its simulation result.
 	ByType map[core.AtomicityType]*sim.Result
 }
@@ -174,79 +179,11 @@ type BenchmarkRun struct {
 // Result returns the run for one RMW type.
 func (b *BenchmarkRun) Result(t core.AtomicityType) *sim.Result { return b.ByType[t] }
 
-// runBenchmark simulates one profile (with optional replacement variant)
-// under the given RMW types. By default each run pulls its trace lazily
-// from the generator (bounded memory); with Options.Materialize the trace
-// is built once up front and shared read-only across the types. When a
-// cache is given, each (config, trace, seed, scale, type) run is looked
-// up first and stored after; hits skip the simulation entirely.
-func runBenchmark(o Options, cache *simcache.Cache, p workload.Profile, variant workload.Replacement, types []core.AtomicityType) (*BenchmarkRun, error) {
-	base := o.baseConfig()
-	// The generator's core count comes from the effective configuration,
-	// not the raw Cores option, so a core count supplied only through
-	// Options.Config drives the workload and the simulated machine
-	// identically instead of generating a trace for zero cores.
-	gen := workload.Generator{Cores: base.Cores, Seed: o.Seed, Replacement: variant}
-	src, err := gen.Source(o.scaled(p))
-	if err != nil {
-		return nil, err
-	}
-	// Validate before digesting: an invalid configuration must never mint
-	// a cache key (keys of distinct invalid configs could alias). Keys
-	// always derive from the raw workload source — never the materialized
-	// adapter — so streamed and materialized runs share entries.
-	keys := make([]simcache.Key, len(types))
-	for i, t := range types {
-		cfg := base.WithRMWType(t)
-		if err := cfg.Validate(); err != nil {
-			return nil, err
-		}
-		keys[i] = simcache.SimKey(cfg, src, o.Seed, o.Scale)
-	}
-	var trace sim.TraceSource = src
-	if o.Materialize && !allCached(cache, keys) {
-		trace = sim.Materialize(src).Source()
-	}
-	run := &BenchmarkRun{Profile: p, Variant: variant, Name: src.Name(), ByType: map[core.AtomicityType]*sim.Result{}}
-	for i, t := range types {
-		cfg := base.WithRMWType(t)
-		key := keys[i]
-		if cache != nil {
-			if res, ok := cache.GetSim(key); ok {
-				// A cached deadlocked result must fail exactly like a
-				// fresh one, or warm and cold runs would diverge.
-				if res.Deadlocked {
-					return nil, fmt.Errorf("experiments: %s under %s deadlocked", src.Name(), t)
-				}
-				run.ByType[t] = res
-				continue
-			}
-		}
-		s, err := sim.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res, err := s.RunSource(trace)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s under %s: %w", src.Name(), t, err)
-		}
-		if res.Deadlocked {
-			return nil, fmt.Errorf("experiments: %s under %s deadlocked", src.Name(), t)
-		}
-		if cache != nil {
-			// Best-effort persistence: a read-only cache directory
-			// degrades to misses, never fails the run.
-			_ = cache.PutSim(key, res)
-		}
-		run.ByType[t] = res
-	}
-	return run, nil
-}
-
 // BenchmarkSpec describes one benchmark of the evaluation: the profile,
 // its replacement variant and the RMW types it runs under. The spec
-// lists below are the single source of truth for both the sequential
-// harness here and the parallel sweeps in pkg/rmwtso.
+// lists below are the single source of truth for every sweep: the
+// execution engine (internal/engine) enumerates them into plans; this
+// package only describes the grid and renders its results.
 type BenchmarkSpec struct {
 	Profile workload.Profile
 	Variant workload.Replacement
@@ -273,54 +210,4 @@ func Cpp11Specs() []BenchmarkSpec {
 		{Profile: wsq, Variant: workload.WriteReplacement, Types: []core.AtomicityType{core.Type1, core.Type2}},
 		{Profile: wsq, Variant: workload.ReadReplacement, Types: core.AllTypes()},
 	}
-}
-
-// allCached reports whether the cache holds an entry for every key, so a
-// warm Materialize run can skip generating traces it will never replay.
-// Has does not verify entries; a corrupt one simply turns the later Get
-// into a miss, and the run then streams from the lazy source — which is
-// byte-identical to the materialized path.
-func allCached(cache *simcache.Cache, keys []simcache.Key) bool {
-	if cache == nil {
-		return false
-	}
-	for _, k := range keys {
-		if !cache.Has(k) {
-			return false
-		}
-	}
-	return true
-}
-
-// runSpecs simulates each spec sequentially, sharing one result cache
-// (when the options configure one) across all runs.
-func runSpecs(o Options, specs []BenchmarkSpec) ([]*BenchmarkRun, error) {
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	cache, err := o.ResultCache()
-	if err != nil {
-		return nil, err
-	}
-	var out []*BenchmarkRun
-	for _, s := range specs {
-		run, err := runBenchmark(o, cache, s.Profile, s.Variant, s.Types)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, run)
-	}
-	return out, nil
-}
-
-// RunTable3Benchmarks simulates the seven Table 3 benchmarks under all
-// three RMW types. The result feeds Table 3 and Fig. 11(a)/(b).
-func RunTable3Benchmarks(o Options) ([]*BenchmarkRun, error) {
-	return runSpecs(o, Table3Specs())
-}
-
-// RunCpp11Benchmarks simulates the wsq-mst C/C++11 variants of
-// Cpp11Specs.
-func RunCpp11Benchmarks(o Options) ([]*BenchmarkRun, error) {
-	return runSpecs(o, Cpp11Specs())
 }

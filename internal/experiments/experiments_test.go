@@ -94,152 +94,3 @@ func TestOptionsHelpers(t *testing.T) {
 		t.Error("scale 1.0 should not change iterations")
 	}
 }
-
-// testRuns simulates a reduced benchmark set once and reuses it across the
-// Table 3 / Fig. 11 tests (full sweeps are exercised by the benchmarks and
-// the experiments tool).
-func testRuns(t *testing.T) []*BenchmarkRun {
-	t.Helper()
-	if testing.Short() {
-		t.Skip("simulation sweep skipped in -short mode")
-	}
-	o := QuickOptions()
-	o.Cores = 4
-	o.Scale = 0.1
-	runs, err := RunTable3Benchmarks(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return runs
-}
-
-func TestTable3FromRuns(t *testing.T) {
-	runs := testRuns(t)
-	rows := Table3FromRuns(runs)
-	if len(rows) != 7 {
-		t.Fatalf("Table 3 has %d rows, want 7", len(rows))
-	}
-	for _, r := range rows {
-		if r.RMWsPer1000 <= 0 {
-			t.Errorf("%s: zero RMW density", r.Name)
-		}
-		if r.UniquePct <= 0 || r.UniquePct > 100 {
-			t.Errorf("%s: unique%% = %.2f out of range", r.Name, r.UniquePct)
-		}
-		if r.DrainPct < 0 || r.DrainPct > 100 {
-			t.Errorf("%s: drain%% out of range", r.Name)
-		}
-		// The density must be within a factor of two of the paper's value.
-		ratio := r.RMWsPer1000 / r.PaperRMWsPer1000
-		if ratio < 0.5 || ratio > 2 {
-			t.Errorf("%s: measured density %.2f vs paper %.2f", r.Name, r.RMWsPer1000, r.PaperRMWsPer1000)
-		}
-	}
-	out := RenderTable3(rows)
-	if !strings.Contains(out, "radiosity") || !strings.Contains(out, "wsq-mst") {
-		t.Errorf("Table 3 rendering incomplete:\n%s", out)
-	}
-}
-
-func TestFig11FromRunsShapes(t *testing.T) {
-	runs := testRuns(t)
-	a, b := Fig11FromRuns(runs)
-	if len(a) != len(runs) || len(b) != len(runs) {
-		t.Fatal("entry counts wrong")
-	}
-	for _, e := range a {
-		t1 := e.Total(core.Type1)
-		t2 := e.Total(core.Type2)
-		t3 := e.Total(core.Type3)
-		if t1 <= 0 {
-			t.Errorf("%s: type-1 RMW cost is zero", e.Benchmark)
-		}
-		// The paper's central shape: weak RMWs are cheaper, and the type-1
-		// cost is dominated by (or at least includes) the write-buffer
-		// drain while type-2/3 mostly avoid it.
-		if t2 > t1 {
-			t.Errorf("%s: type-2 cost %.1f exceeds type-1 cost %.1f", e.Benchmark, t2, t1)
-		}
-		if t3 > t1 {
-			t.Errorf("%s: type-3 cost %.1f exceeds type-1 cost %.1f", e.Benchmark, t3, t1)
-		}
-		if e.WriteBuffer[core.Type1] <= 0 {
-			t.Errorf("%s: type-1 write-buffer component is zero", e.Benchmark)
-		}
-		if e.WriteBuffer[core.Type2] > e.WriteBuffer[core.Type1] {
-			t.Errorf("%s: type-2 write-buffer component exceeds type-1", e.Benchmark)
-		}
-	}
-	for _, e := range b {
-		if e.Overhead[core.Type1] < e.Overhead[core.Type2] {
-			t.Errorf("%s: type-2 overhead %.2f%% exceeds type-1 %.2f%%",
-				e.Benchmark, e.Overhead[core.Type2], e.Overhead[core.Type1])
-		}
-		// Low-RMW-density benchmarks sit at ~0% improvement (the paper calls
-		// them "negligible"); allow sub-half-percent noise but no real
-		// regression.
-		if e.Speedup(core.Type2) < -0.5 {
-			t.Errorf("%s: type-2 slows execution down by %.2f%%", e.Benchmark, -e.Speedup(core.Type2))
-		}
-	}
-	outA := RenderFig11a(a)
-	outB := RenderFig11b(b)
-	if !strings.Contains(outA, "Fig. 11(a)") || !strings.Contains(outB, "Fig. 11(b)") {
-		t.Error("figure renderings missing titles")
-	}
-	sum := Summarize(a, b)
-	if sum.Type2CostReductionMax <= 0 {
-		t.Error("summary shows no type-2 cost reduction")
-	}
-	if sum.AvgType1DrainShare <= 0 || sum.AvgType1DrainShare > 100 {
-		t.Errorf("drain share %.1f out of range", sum.AvgType1DrainShare)
-	}
-	if !strings.Contains(sum.Render(), "paper") {
-		t.Error("summary rendering should cite the paper's numbers")
-	}
-}
-
-func TestRunCpp11Benchmarks(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep skipped in -short mode")
-	}
-	// The C/C++11 variants need a somewhat larger run than the other tests:
-	// at very small scales the wsq-mst deque anchors never warm up and
-	// cold-miss noise swamps the type-1 vs type-2 difference.
-	o := QuickOptions()
-	o.Cores = 8
-	o.Scale = 0.25
-	runs, err := RunCpp11Benchmarks(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(runs) != 2 {
-		t.Fatalf("%d runs, want 2 (wr, rr)", len(runs))
-	}
-	wr, rr := runs[0], runs[1]
-	if wr.Name != "wsq-mst_wr" || rr.Name != "wsq-mst_rr" {
-		t.Fatalf("run names = %q, %q", wr.Name, rr.Name)
-	}
-	if _, ok := wr.ByType[core.Type3]; ok {
-		t.Error("write replacement must not be run with type-3 RMWs (unsound per §2.5)")
-	}
-	if _, ok := rr.ByType[core.Type3]; !ok {
-		t.Error("read replacement should include type-3")
-	}
-	// Weak RMWs should not lose to type-1 on either variant (allow 5%
-	// noise at this reduced scale).
-	for _, run := range runs {
-		_, _, c1 := run.Result(core.Type1).AvgRMWCost()
-		_, _, c2 := run.Result(core.Type2).AvgRMWCost()
-		if c2 > c1*1.05 {
-			t.Errorf("%s: type-2 RMW cost %.1f exceeds type-1 %.1f", run.Name, c2, c1)
-		}
-	}
-	// Read replacement leaves more pending writes in front of each RMW than
-	// write replacement, so its type-1 cost is at least as high (§4.2).
-	_, _, wr1 := wr.Result(core.Type1).AvgRMWCost()
-	_, _, rr1 := rr.Result(core.Type1).AvgRMWCost()
-	if rr1 < wr1*0.9 {
-		t.Errorf("read-replacement type-1 RMW cost %.1f should not be far below write-replacement %.1f", rr1, wr1)
-	}
-}

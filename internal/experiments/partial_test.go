@@ -28,24 +28,13 @@ func TestSummarizeEmptyIsZero(t *testing.T) {
 	}
 }
 
-// TestSummarizePopulatedUnchanged guards the fix against regressing the
-// populated path: real runs must still produce a nonzero range with
-// min <= max.
-func TestSummarizePopulatedUnchanged(t *testing.T) {
-	a, b := Fig11FromRuns(testRuns(t))
-	s := Summarize(a, b)
-	if s.Type2CostReductionMin <= 0 || s.Type2CostReductionMin > s.Type2CostReductionMax {
-		t.Fatalf("type-2 range %.1f..%.1f malformed", s.Type2CostReductionMin, s.Type2CostReductionMax)
-	}
-}
-
 // TestBuildReportEmptyRuns pins the whole-report shape of a sweep whose
 // every unit was dead-lettered: still a well-formed report — the model
 // checking tables (which need no simulator runs) intact, the run-derived
 // sections empty, the summary zero — never a panic or a sentinel-valued
 // table.
 func TestBuildReportEmptyRuns(t *testing.T) {
-	rep, err := BuildReport(reportOptions(), nil)
+	rep, err := BuildReport(Options{Cores: 4, Scale: 0.05}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,17 +61,5 @@ func TestBuildReportEmptyRuns(t *testing.T) {
 		if buf.Len() == 0 {
 			t.Fatalf("%s encoding rendered nothing", format)
 		}
-	}
-}
-
-// TestTable3FromRunsSkipsNilResults guards the defensive path: a run
-// missing its type-2 result contributes no row instead of a nil
-// dereference.
-func TestTable3FromRunsSkipsNilResults(t *testing.T) {
-	runs := testRuns(t)
-	runs[0].ByType[core.Type2] = nil
-	rows := Table3FromRuns(runs)
-	if len(rows) != len(runs)-1 {
-		t.Fatalf("rows %d, want %d", len(rows), len(runs)-1)
 	}
 }

@@ -41,6 +41,11 @@ type Report struct {
 	Fig11b []Fig11bEntry `json:"fig11b"`
 	// Summary is the headline summary derived from the figures.
 	Summary Summary `json:"summary"`
+	// SeedStats, for multi-seed sweeps, holds the cross-seed mean/CI
+	// statistics per (benchmark, RMW type). It is nil — and omitted from
+	// every encoding — for single-seed sweeps, preserving byte-identity
+	// with pre-aggregation reports.
+	SeedStats []SeedAggregate `json:"seed_stats,omitempty"`
 	// Coordination, when the simulation sweep ran under the dynamic
 	// coordinator, records how the units were distributed (per-worker
 	// counts, retries, dead letters). It is nil for static runs, and
@@ -56,6 +61,11 @@ type Report struct {
 // the runs, which may come from a local sweep or from merged shard
 // artifacts. Table 3 is computed over the non-replacement runs (the
 // Table 3 benchmark set); Fig. 11 covers every run.
+//
+// Multi-seed sweeps (runs carrying more than one distinct
+// BenchmarkRun.Seed) build the per-seed sections from the base seed's
+// runs — o.Seed, matching the report's stamped Seed — and additionally
+// derive the cross-seed mean/CI statistics (SeedStats) over all runs.
 func BuildReport(o Options, runs []*BenchmarkRun) (*Report, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -68,13 +78,23 @@ func BuildReport(o Options, runs []*BenchmarkRun) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	seedStats := AggregateSeeds(runs)
+	baseRuns := runs
+	if len(seedStats) > 0 {
+		baseRuns = nil
+		for _, run := range runs {
+			if run.Seed == o.Seed {
+				baseRuns = append(baseRuns, run)
+			}
+		}
+	}
 	var table3Runs []*BenchmarkRun
-	for _, run := range runs {
+	for _, run := range baseRuns {
 		if run.Variant == workload.NoReplacement {
 			table3Runs = append(table3Runs, run)
 		}
 	}
-	figA, figB := Fig11FromRuns(runs)
+	figA, figB := Fig11FromRuns(baseRuns)
 	cfg := o.BaseConfig()
 	return &Report{
 		SchemaVersion: ReportSchemaVersion,
@@ -89,6 +109,7 @@ func BuildReport(o Options, runs []*BenchmarkRun) (*Report, error) {
 		Fig11a:        figA,
 		Fig11b:        figB,
 		Summary:       Summarize(figA, figB),
+		SeedStats:     seedStats,
 	}, nil
 }
 

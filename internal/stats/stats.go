@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -154,4 +155,56 @@ func Mark(ok bool) string {
 		return "yes"
 	}
 	return "no"
+}
+
+// Mean returns the arithmetic mean of the samples (zero for none).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (Bessel-corrected); it is
+// zero for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// tCrit95 holds the two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; larger samples use the normal approximation.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 returns the sample mean and the half-width of its two-sided
+// 95% confidence interval (Student t for up to 30 degrees of freedom,
+// normal approximation beyond). Fewer than two samples have a zero
+// half-width: a single measurement carries no spread information.
+func MeanCI95(xs []float64) (mean, half float64) {
+	mean = Mean(xs)
+	n := len(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	t := 1.960
+	if df := n - 1; df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	return mean, t * StdDev(xs) / math.Sqrt(float64(n))
 }

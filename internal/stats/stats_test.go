@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -74,5 +75,47 @@ func TestHelpers(t *testing.T) {
 	}
 	if Mark(true) != "yes" || Mark(false) != "no" {
 		t.Error("Mark wrong")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{5}) != 0 {
+		t.Error("empty/single-sample statistics should be zero")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %f, want 5", got)
+	}
+	// Sample (Bessel-corrected) standard deviation of the set above.
+	if got := StdDev(xs); math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("StdDev = %f, want 2.13809", got)
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	if m, h := MeanCI95([]float64{3}); m != 3 || h != 0 {
+		t.Errorf("single sample: mean %f half %f, want 3 and 0", m, h)
+	}
+	// n=2: df=1, t=12.706; s = |a-b|/sqrt(2), half = t*s/sqrt(2) = t*|a-b|/2.
+	m, h := MeanCI95([]float64{10, 14})
+	if m != 12 {
+		t.Errorf("mean = %f, want 12", m)
+	}
+	if want := 12.706 * 4 / 2; math.Abs(h-want) > 1e-9 {
+		t.Errorf("half-width = %f, want %f", h, want)
+	}
+	// Identical samples have zero spread regardless of n.
+	if _, h := MeanCI95([]float64{7, 7, 7, 7}); h != 0 {
+		t.Errorf("identical samples: half-width %f, want 0", h)
+	}
+	// Large n falls back to the normal critical value.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 2)
+	}
+	_, h = MeanCI95(big)
+	want := 1.960 * StdDev(big) / 10
+	if math.Abs(h-want) > 1e-9 {
+		t.Errorf("n=100 half-width = %f, want normal approximation %f", h, want)
 	}
 }

@@ -1,12 +1,7 @@
 package rmwtso
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-
-	"repro/internal/core"
-	"repro/internal/litmus"
-	"repro/internal/memmodel"
+	"repro/internal/engine"
 	"repro/internal/simcache"
 )
 
@@ -96,13 +91,7 @@ func SimCacheKey(cfg SimConfig, src TraceSource, seed int64, scale float64) Cach
 // textual rendering of the test (program, condition and expectations) and
 // the atomicity type checked.
 func LitmusCacheKey(t *Test, typ AtomicityType) CacheKey {
-	sum := sha256.Sum256([]byte(litmus.Format(t)))
-	return CacheKey{
-		Kind:         simcache.KindLitmusVerdict,
-		ConfigDigest: hex.EncodeToString(sum[:]),
-		Trace:        t.Name,
-		RMWType:      typ,
-	}
+	return engine.LitmusVerdictKey(t, typ)
 }
 
 // SimulateSourceCached is SimulateSource through a cache: on a hit the
@@ -133,100 +122,4 @@ func SimulateSourceCached(c *Cache, cfg SimConfig, src TraceSource, seed int64, 
 		_ = c.PutSim(key, res)
 	}
 	return res, false, nil
-}
-
-// cacheableTest reports whether the test's verdict may be cached: its
-// key digests the canonical litmus.Format rendering, which represents an
-// RMW's Modify function faithfully only for the built-in xadd
-// (Modify(v) = v+Value) and xchg (Modify(v) = Value) semantics. A test
-// whose RMW carries any other Modify function would alias the key of its
-// xchg-rendered twin, so such tests bypass the cache and always
-// enumerate. The probe samples several read values per RMW and accepts
-// only functions consistent with one of the two renderable semantics.
-func cacheableTest(t *Test) bool {
-	if t.Program == nil {
-		return false
-	}
-	for _, th := range t.Program.Threads {
-		for _, in := range th {
-			if in.Kind != memmodel.InstrRMW {
-				continue
-			}
-			if in.Modify == nil {
-				return false
-			}
-			addLike, setLike := true, true
-			for _, v := range []Value{0, 1, 7, -3, 100} {
-				got := in.Modify(v)
-				if got != v+in.Value {
-					addLike = false
-				}
-				if got != in.Value {
-					setLike = false
-				}
-			}
-			if !addLike && !setLike {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// litmusVerdict is the serialized payload of one cached verdict. The
-// expectation fields of a TestResult are not stored: they derive from the
-// Test at hand and are recomputed on a hit, so editing a test's Expected
-// map never resurrects a stale Matches flag.
-type litmusVerdict struct {
-	Holds           bool           `json:"holds"`
-	ValidExecutions int            `json:"valid_executions"`
-	Candidates      int            `json:"candidates"`
-	Outcomes        []core.Outcome `json:"outcomes"`
-}
-
-// cachedVerdict reconstructs a TestResult from the cache, marking it as a
-// cache hit.
-func cachedVerdict(c *Cache, t *Test, typ AtomicityType) (TestResult, bool) {
-	if !cacheableTest(t) {
-		return TestResult{}, false
-	}
-	var v litmusVerdict
-	if !c.Get(LitmusCacheKey(t, typ), &v) {
-		return TestResult{}, false
-	}
-	set := core.NewOutcomeSet()
-	for _, o := range v.Outcomes {
-		set.Add(o)
-	}
-	res := TestResult{
-		Test:            t,
-		Atomicity:       typ,
-		Holds:           v.Holds,
-		Matches:         true,
-		ValidExecutions: v.ValidExecutions,
-		Candidates:      v.Candidates,
-		Outcomes:        set,
-		CacheHit:        true,
-	}
-	if exp, ok := t.Expected[typ]; ok {
-		e := exp
-		res.Expected = &e
-		res.Matches = v.Holds == exp
-	}
-	return res, true
-}
-
-// storeVerdict persists a fresh verdict best-effort; verdicts of tests
-// whose RMW semantics the canonical rendering cannot represent are never
-// stored (their keys could alias).
-func storeVerdict(c *Cache, res TestResult) {
-	if !cacheableTest(res.Test) {
-		return
-	}
-	_ = c.Put(LitmusCacheKey(res.Test, res.Atomicity), litmusVerdict{
-		Holds:           res.Holds,
-		ValidExecutions: res.ValidExecutions,
-		Candidates:      res.Candidates,
-		Outcomes:        res.Outcomes.Outcomes(),
-	})
 }

@@ -2,15 +2,9 @@ package rmwtso
 
 import (
 	"context"
-	"encoding/json"
-	"fmt"
-	"net/http"
-	"sync"
-	"time"
 
-	"repro/internal/coordinator"
+	"repro/internal/engine"
 	"repro/internal/experiments"
-	"repro/internal/simcache"
 )
 
 // Coordination summarizes how a dynamically coordinated sweep executed:
@@ -28,83 +22,24 @@ type DeadUnit = experiments.DeadUnit
 // nacking and stops, so the unit is recovered through lease expiry
 // exactly like a real crash. A worker loop (in-process or RunPlanWorker)
 // that crashed this way reports ErrInjectedCrash from its Run.
-var ErrInjectedCrash = coordinator.ErrAbandon
+var ErrInjectedCrash = engine.ErrInjectedCrash
 
 // CoordEvent is one coordination state transition of a dynamic sweep,
 // streamed through the Runner's observer alongside the sweep's SimRun
 // events so progress displays can show leases, requeues and dead letters
 // as they happen.
-type CoordEvent struct {
-	// Kind is the transition: "lease", "ack", "nack", "expire",
-	// "requeue", "dead-letter" or "drained".
-	Kind string
-	// Unit is the plan unit concerned (empty for "drained").
-	Unit UnitID
-	// Worker is the worker involved, when one is.
-	Worker string
-	// Attempt is the 1-based attempt the transition concerns.
-	Attempt int
-	// Reason carries the failure reason for nack/expire/requeue/dead-letter.
-	Reason string
-}
+type CoordEvent = engine.CoordEvent
 
 // FaultInjector decides, before each unit execution of a coordinated
 // sweep, whether to inject a fault: return nil to execute normally, a
 // plain error to fail the attempt (nacked, retried, eventually
 // dead-lettered), or ErrInjectedCrash to kill the worker mid-lease.
 // Fault injection exists for tests, demos and CI crash drills.
-type FaultInjector func(worker string, unit Unit, attempt int) error
+type FaultInjector = engine.FaultInjector
 
 // CoordinationConfig tunes a coordinated sweep (WithCoordinator). The
 // zero value picks the noted defaults.
-type CoordinationConfig struct {
-	// Workers is how many in-process pull workers RunPlan spawns.
-	// Default: the Runner's parallelism. Ignored by the HTTP mode, where
-	// the fleet size is however many worker processes connect.
-	Workers int
-	// LeaseTTL is how long a unit lease lives without a heartbeat before
-	// the worker is presumed dead and the unit requeued. Default 15s.
-	LeaseTTL time.Duration
-	// MaxAttempts bounds how many times one unit is handed out before it
-	// is dead-lettered. Default 3.
-	MaxAttempts int
-	// RetryBackoff and MaxBackoff shape the jittered exponential delay
-	// between a unit's attempts. Defaults 250ms and 5s.
-	RetryBackoff time.Duration
-	MaxBackoff   time.Duration
-	// Heartbeat is the workers' lease-extension interval. Default
-	// LeaseTTL/3.
-	Heartbeat time.Duration
-	// Seed drives the backoff jitter deterministically. Default 1.
-	Seed int64
-	// FaultInjector, when non-nil, is consulted before every unit
-	// execution. Nil injects nothing.
-	FaultInjector FaultInjector
-}
-
-// heartbeat resolves the effective heartbeat interval.
-func (c CoordinationConfig) heartbeat() time.Duration {
-	if c.Heartbeat > 0 {
-		return c.Heartbeat
-	}
-	ttl := c.LeaseTTL
-	if ttl <= 0 {
-		ttl = 15 * time.Second
-	}
-	return ttl / 3
-}
-
-// queueConfig maps the sweep configuration onto the coordinator's.
-func (c CoordinationConfig) queueConfig(onEvent func(coordinator.Event)) coordinator.Config {
-	return coordinator.Config{
-		LeaseTTL:     c.LeaseTTL,
-		MaxAttempts:  c.MaxAttempts,
-		RetryBackoff: c.RetryBackoff,
-		MaxBackoff:   c.MaxBackoff,
-		Seed:         c.Seed,
-		OnEvent:      onEvent,
-	}
-}
+type CoordinationConfig = engine.CoordinationConfig
 
 // WithCoordinator switches the Runner's RunPlan to dynamic coordination:
 // instead of the static per-worker split, the shard's units go into a
@@ -115,30 +50,7 @@ func (c CoordinationConfig) queueConfig(onEvent func(coordinator.Event)) coordin
 // the completed sweep's results are byte-identical to a static run's.
 // The same configuration drives the HTTP mode (NewCoordServer,
 // RunPlanWorker) for fleets that span machines.
-func WithCoordinator(cfg CoordinationConfig) Option {
-	return func(o *options) { o.coord = &cfg }
-}
-
-// coordConfig returns the Runner's coordination configuration, or the
-// all-defaults configuration when WithCoordinator was not given (the
-// HTTP entry points work without it).
-func (r *Runner) coordConfig() CoordinationConfig {
-	if r.opts.coord != nil {
-		return *r.opts.coord
-	}
-	return CoordinationConfig{}
-}
-
-// emitCoord forwards one queue transition to the Runner's observer.
-func (r *Runner) emitCoord(e coordinator.Event) {
-	r.emit(Event{Coord: &CoordEvent{
-		Kind:    string(e.Kind),
-		Unit:    UnitID(e.Task),
-		Worker:  e.Worker,
-		Attempt: e.Attempt,
-		Reason:  e.Reason,
-	}})
-}
+func WithCoordinator(cfg CoordinationConfig) Option { return engine.WithCoordinator(cfg) }
 
 // DeadLetterError reports a coordinated sweep that completed with
 // dead-lettered units: every other unit finished (the queue drained),
@@ -147,305 +59,20 @@ func (r *Runner) emitCoord(e coordinator.Event) {
 // letters with their full failure history — so callers can still render
 // a partial report (Plan.RunsPartial) with the DLQ section instead of
 // discarding the sweep.
-type DeadLetterError struct {
-	// Partial is the shard result of the completed units, with its
-	// Coordination section populated (DeadLetters non-empty).
-	Partial *ShardResult
-}
-
-// Error lists the dead-lettered unit IDs, sorted and bounded.
-func (e *DeadLetterError) Error() string {
-	dls := e.Partial.Coordination.DeadLetters
-	ids := make([]string, len(dls))
-	for i, d := range dls {
-		ids[i] = d.Unit
-	}
-	return fmt.Sprintf("rmwtso: %d of %d sweep units dead-lettered after exhausting their attempts: %s",
-		len(dls), len(e.Partial.Units)+len(dls), boundedList(ids, listedUnitsMax))
-}
-
-// sourcePool builds group trace sources lazily, once per group, as
-// coordinated workers lease into them — a pull worker cannot know up
-// front which groups it will touch.
-type sourcePool struct {
-	plan     *Plan
-	cache    *simcache.Cache
-	selected map[UnitID]bool
-
-	mu   sync.Mutex
-	srcs map[int]TraceSource
-	errs map[int]error
-}
-
-func newSourcePool(plan *Plan, cache *simcache.Cache, selected map[UnitID]bool) *sourcePool {
-	return &sourcePool{
-		plan: plan, cache: cache, selected: selected,
-		srcs: map[int]TraceSource{}, errs: map[int]error{},
-	}
-}
-
-// get returns the group's source, building it on first use. A build
-// error is sticky: generation is deterministic, so retrying cannot heal
-// it and the failure nacks every unit of the group into the DLQ.
-func (sp *sourcePool) get(group int) (TraceSource, error) {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	if src, ok := sp.srcs[group]; ok {
-		return src, nil
-	}
-	if err, ok := sp.errs[group]; ok {
-		return nil, err
-	}
-	src, err := sp.plan.groupSource(sp.plan.groups[group], sp.cache, sp.selected)
-	if err != nil {
-		sp.errs[group] = err
-		return nil, err
-	}
-	sp.srcs[group] = src
-	return src, nil
-}
-
-// unitExecutor adapts runUnit into a coordinator Executor for one named
-// worker: resolve the leased unit, consult the fault injector, simulate,
-// and return the JSON-encoded UnitResult as the ack payload.
-func (r *Runner) unitExecutor(plan *Plan, pool *sourcePool, cache *simcache.Cache, cfg CoordinationConfig, worker string) coordinator.Executor {
-	base := plan.opts.BaseConfig()
-	return func(_ context.Context, task string, attempt int) ([]byte, error) {
-		u, ok := plan.Unit(UnitID(task))
-		if !ok {
-			return nil, fmt.Errorf("rmwtso: leased unit %s is not in the plan", task)
-		}
-		if cfg.FaultInjector != nil {
-			if err := cfg.FaultInjector(worker, u, attempt); err != nil {
-				return nil, err
-			}
-		}
-		src, err := pool.get(u.group)
-		if err != nil {
-			return nil, err
-		}
-		ur, err := r.runUnit(base, u, src, cache)
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(ur)
-	}
-}
-
-// coordinationFromSnapshot maps the queue's final snapshot onto the
-// report model, resolving dead-lettered unit IDs back to their traces.
-func coordinationFromSnapshot(mode string, plan *Plan, snap coordinator.Snapshot) *Coordination {
-	c := &Coordination{Mode: mode, Retries: snap.Retries, Expired: snap.Expired}
-	for _, w := range snap.Workers {
-		c.Workers = append(c.Workers, CoordWorker{
-			Worker: w.Worker, Units: w.Acks, Retries: w.Nacks, Expired: w.Expired,
-		})
-	}
-	for _, d := range snap.DeadLetters {
-		du := DeadUnit{Unit: d.Task, Attempts: d.Attempts, Reasons: append([]string(nil), d.Reasons...)}
-		if u, ok := plan.Unit(UnitID(d.Task)); ok {
-			du.Trace, du.Type = u.Trace, u.Type.String()
-		}
-		c.DeadLetters = append(c.DeadLetters, du)
-	}
-	return c
-}
-
-// assembleCoordinated turns a drained queue into the sweep's shard
-// result: ack payloads decode back to UnitResults in plan order, the
-// coordination summary is attached, and a non-empty dead-letter set is
-// reported as a *DeadLetterError carrying the partial result.
-func (r *Runner) assembleCoordinated(plan *Plan, shard Shard, selected []Unit, q *coordinator.Queue, mode string) (*ShardResult, error) {
-	snap := q.Snapshot()
-	payloads := q.Payloads()
-	var results []UnitResult
-	for _, u := range selected {
-		data, ok := payloads[string(u.ID)]
-		if !ok {
-			continue // dead-lettered; listed in the coordination section
-		}
-		var ur UnitResult
-		if err := json.Unmarshal(data, &ur); err != nil {
-			return nil, fmt.Errorf("rmwtso: unit %s result payload: %w", u.ID, err)
-		}
-		results = append(results, ur)
-	}
-	res := &ShardResult{
-		Plan:         plan.fp,
-		Index:        shard.Index,
-		Count:        shard.Count,
-		Filtered:     shard.Only != nil,
-		Units:        results,
-		Coordination: coordinationFromSnapshot(mode, plan, snap),
-	}
-	if len(snap.DeadLetters) > 0 {
-		return nil, &DeadLetterError{Partial: res}
-	}
-	return res, nil
-}
-
-// runPlanCoordinated is RunPlan through the pull queue: the shard's
-// units are leased one at a time to in-process workers, with crash
-// recovery (lease expiry requeue), bounded retries and dead-lettering —
-// and a completed sweep's results identical to the static path's, since
-// both execute units through runUnit.
-func (r *Runner) runPlanCoordinated(ctx context.Context, plan *Plan, shard Shard) (*ShardResult, error) {
-	cfg := r.coordConfig()
-	if err := shard.Validate(); err != nil {
-		return nil, err
-	}
-	if ctx == nil {
-		ctx = r.opts.ctx
-	}
-	cache, err := r.planCache(plan)
-	if err != nil {
-		return nil, err
-	}
-
-	selected := plan.Select(shard)
-	selectedIDs := make(map[UnitID]bool, len(selected))
-	ids := make([]string, len(selected))
-	for i, u := range selected {
-		selectedIDs[u.ID] = true
-		ids[i] = string(u.ID)
-	}
-	q, err := coordinator.NewQueue(cfg.queueConfig(r.emitCoord), ids)
-	if err != nil {
-		return nil, err
-	}
-	pool := newSourcePool(plan, cache, selectedIDs)
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = r.opts.parallelism
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		name := fmt.Sprintf("worker-%d", i)
-		w := &coordinator.Worker{
-			Name:      name,
-			Coord:     q,
-			Exec:      r.unitExecutor(plan, pool, cache, cfg, name),
-			Heartbeat: cfg.heartbeat(),
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// A worker stops for exactly three reasons: drained (nil),
-			// context cancellation (surfaced through drainOrFail), or an
-			// injected crash — which is the point of the injection, so the
-			// error is not propagated; the queue recovers the lease.
-			_ = w.Run(ctx)
-		}()
-	}
-	workersDone := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(workersDone)
-	}()
-
-	if err := drainOrFail(ctx, q, workersDone, workers); err != nil {
-		return nil, err
-	}
-	return r.assembleCoordinated(plan, shard, selected, q, "in-process")
-}
-
-// drainOrFail waits for the queue to drain. If every worker exits first
-// (all crashed), outstanding leases are still driven to expiry, but a
-// unit requeued with nobody left to lease it can never run — that state
-// fails fast instead of hanging the sweep.
-func drainOrFail(ctx context.Context, q *coordinator.Queue, workersDone <-chan struct{}, workers int) error {
-	waitCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	waitErr := make(chan error, 1)
-	go func() { waitErr <- q.Wait(waitCtx) }()
-
-	select {
-	case err := <-waitErr:
-		return err
-	case <-workersDone:
-	}
-	for {
-		snap := q.Snapshot() // drives lease expiry
-		if snap.Drained() {
-			return nil
-		}
-		if snap.Leased == 0 {
-			return fmt.Errorf("rmwtso: all %d coordinated workers crashed with %d units unfinished", workers, snap.Pending)
-		}
-		select {
-		case err := <-waitErr:
-			if err != nil {
-				return err
-			}
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(5 * time.Millisecond):
-		}
-	}
-}
+type DeadLetterError = engine.DeadLetterError
 
 // CoordServer coordinates one plan shard for HTTP workers on other
 // machines: it owns the pull queue, serves the versioned JSON protocol
 // (Handler), and assembles the shard result once the fleet drains the
 // queue (Wait). Build it from the Runner whose observer should stream
 // the sweep's coordination events.
-type CoordServer struct {
-	runner   *Runner
-	plan     *Plan
-	shard    Shard
-	selected []Unit
-	queue    *coordinator.Queue
-	srv      *coordinator.Server
-}
+type CoordServer = engine.CoordServer
 
 // NewCoordServer builds the coordination server for the plan units the
 // shard selects, configured by the Runner's WithCoordinator (defaults
 // apply without it).
 func (r *Runner) NewCoordServer(plan *Plan, shard Shard) (*CoordServer, error) {
-	if err := shard.Validate(); err != nil {
-		return nil, err
-	}
-	cfg := r.coordConfig()
-	selected := plan.Select(shard)
-	ids := make([]string, len(selected))
-	for i, u := range selected {
-		ids[i] = string(u.ID)
-	}
-	q, err := coordinator.NewQueue(cfg.queueConfig(r.emitCoord), ids)
-	if err != nil {
-		return nil, err
-	}
-	return &CoordServer{
-		runner:   r,
-		plan:     plan,
-		shard:    shard,
-		selected: selected,
-		queue:    q,
-		srv:      coordinator.NewServer(q, plan.Fingerprint()),
-	}, nil
-}
-
-// Handler returns the HTTP handler speaking the coordinator protocol.
-func (s *CoordServer) Handler() http.Handler { return s.srv }
-
-// Snapshot reports the queue's progress for status displays.
-func (s *CoordServer) Snapshot() coordinator.Snapshot { return s.queue.Snapshot() }
-
-// Wait blocks until every unit is done or dead-lettered, then assembles
-// the shard result exactly like the in-process mode: a clean sweep
-// returns the result (coordination section attached), dead letters
-// return a *DeadLetterError with the partial result. Worker crashes are
-// recovered through lease expiry; with no worker connected Wait simply
-// keeps waiting (cancel ctx to give up).
-func (s *CoordServer) Wait(ctx context.Context) (*ShardResult, error) {
-	if ctx == nil {
-		ctx = s.runner.opts.ctx
-	}
-	if err := s.queue.Wait(ctx); err != nil {
-		return nil, err
-	}
-	return s.runner.assembleCoordinated(s.plan, s.shard, s.selected, s.queue, "http")
+	return r.eng.NewCoordServer(plan, shard)
 }
 
 // RunPlanWorker runs one pull worker against the coordinator at addr
@@ -457,31 +84,5 @@ func (s *CoordServer) Wait(ctx context.Context) (*ShardResult, error) {
 // the fault injector killed the worker, or the transport/handshake
 // error.
 func (r *Runner) RunPlanWorker(ctx context.Context, plan *Plan, addr, name string) error {
-	if ctx == nil {
-		ctx = r.opts.ctx
-	}
-	if name == "" {
-		return fmt.Errorf("rmwtso: coordinated worker needs a name")
-	}
-	cfg := r.coordConfig()
-	cache, err := r.planCache(plan)
-	if err != nil {
-		return err
-	}
-	client := coordinator.Dial(addr, plan.Fingerprint())
-	if err := client.WaitReachable(ctx, 30*time.Second); err != nil {
-		return err
-	}
-	// The worker does not know which units it will lease, so the shard
-	// selection is unknown here; a nil selected set makes groupSource
-	// treat every unit of a group as relevant, which only affects the
-	// materialize-vs-stream choice, never results.
-	pool := newSourcePool(plan, cache, nil)
-	w := &coordinator.Worker{
-		Name:      name,
-		Coord:     client,
-		Exec:      r.unitExecutor(plan, pool, cache, cfg, name),
-		Heartbeat: cfg.heartbeat(),
-	}
-	return w.Run(ctx)
+	return r.eng.RunPlanWorker(ctx, plan, addr, name)
 }

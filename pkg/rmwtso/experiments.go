@@ -1,16 +1,8 @@
 package rmwtso
 
 import (
-	"fmt"
-
 	"repro/internal/experiments"
 )
-
-// deadlockError reports a benchmark run that wedged; experiment sweeps
-// treat deadlock as an error because only the Fig. 10 demo expects it.
-func deadlockError(name string, typ AtomicityType) error {
-	return fmt.Errorf("rmwtso: %s under %s deadlocked", name, typ)
-}
 
 // Options configure an experiment run: core count, workload scale, seed
 // and architectural overrides.
@@ -104,23 +96,6 @@ func Table3Specs() []BenchmarkSpec { return experiments.Table3Specs() }
 // types that are sound for them.
 func Cpp11Specs() []BenchmarkSpec { return experiments.Cpp11Specs() }
 
-// specTypes intersects a spec's types with the Runner's configured
-// types, preserving the spec's order. With the default configuration
-// (all three types) this is the spec's list unchanged.
-func (r *Runner) specTypes(s BenchmarkSpec) []AtomicityType {
-	allowed := map[AtomicityType]bool{}
-	for _, t := range r.opts.types {
-		allowed[t] = true
-	}
-	var out []AtomicityType
-	for _, t := range s.Types {
-		if allowed[t] {
-			out = append(out, t)
-		}
-	}
-	return out
-}
-
 // RunBenchmarks simulates every (spec, type) pair across the worker pool,
 // streaming each finished run to the observer. A spec's types are
 // intersected with the Runner's configured types (WithRMWTypes); specs
@@ -135,24 +110,28 @@ func (r *Runner) specTypes(s BenchmarkSpec) []AtomicityType {
 // one code path and produce identical results. Results come back in spec
 // order with one ByType entry per simulated type.
 func (r *Runner) RunBenchmarks(o Options, specs []BenchmarkSpec) ([]*BenchmarkRun, error) {
-	kept := make([]BenchmarkSpec, 0, len(specs))
-	for _, s := range specs {
-		ts := r.specTypes(s)
-		if len(ts) == 0 {
-			continue
-		}
-		s.Types = ts
-		kept = append(kept, s)
-	}
-	plan, err := BuildPlan(o, kept)
-	if err != nil {
-		return nil, err
-	}
-	shardRun, err := r.RunPlan(nil, plan, FullShard())
-	if err != nil {
-		return nil, err
-	}
-	return plan.Runs(shardRun.Units)
+	return r.eng.RunBenchmarks(o, specs)
+}
+
+// RunBenchmarksSeeds is RunBenchmarks over an explicit workload seed
+// list: the full (spec, type) grid is rerun under every seed in one
+// plan, yielding one BenchmarkRun per (spec, seed) pair. Reports built
+// from multi-seed runs gain the cross-seed mean/CI section (SeedStats).
+func (r *Runner) RunBenchmarksSeeds(o Options, specs []BenchmarkSpec, seeds ...int64) ([]*BenchmarkRun, error) {
+	return r.eng.RunBenchmarksSeeds(o, specs, seeds...)
+}
+
+// SeedAggregate is the cross-seed mean/CI statistics of one (benchmark,
+// RMW type) cell of a multi-seed sweep.
+type SeedAggregate = experiments.SeedAggregate
+
+// AggregateSeeds derives the cross-seed statistics from benchmark runs;
+// it returns nil for single-seed sweeps.
+func AggregateSeeds(runs []*BenchmarkRun) []SeedAggregate { return experiments.AggregateSeeds(runs) }
+
+// RenderSeedAggregates renders the cross-seed statistics table.
+func RenderSeedAggregates(aggs []SeedAggregate) string {
+	return experiments.RenderSeedAggregates(aggs)
 }
 
 // RunTable3Benchmarks simulates the Table 3 benchmark set across the

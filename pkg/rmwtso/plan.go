@@ -2,16 +2,8 @@ package rmwtso
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"sort"
-	"strconv"
-	"strings"
 
-	"repro/internal/sim"
-	"repro/internal/simcache"
-	"repro/internal/workload"
+	"repro/internal/engine"
 )
 
 // UnitID is the stable identifier of one sweep unit: a short prefix of
@@ -19,41 +11,12 @@ import (
 // so the same (config, benchmark, seed, scale, RMW type) has the same ID
 // on every machine, at every shard count, in every process. Unit IDs are
 // how shards address work and how merged artifacts reassemble a sweep.
-type UnitID string
+type UnitID = engine.UnitID
 
 // Unit is one addressable work unit of a sweep plan: one benchmark
 // workload simulated under one RMW atomicity type with one seed and one
 // architectural configuration.
-type Unit struct {
-	// ID is the unit's stable identity.
-	ID UnitID `json:"id"`
-	// Trace is the workload trace name (including any replacement-variant
-	// suffix), Benchmark the underlying profile name and Variant the
-	// C/C++11 replacement variant.
-	Trace     string      `json:"trace"`
-	Benchmark string      `json:"benchmark"`
-	Variant   Replacement `json:"variant"`
-	// Type is the RMW atomicity type of the run.
-	Type AtomicityType `json:"type"`
-	// Seed and Scale are the workload generation parameters (Scale
-	// normalized like the cache keys: non-positive means 1).
-	Seed  int64   `json:"seed"`
-	Scale float64 `json:"scale"`
-	// Key is the full content-addressed cache key the ID derives from;
-	// a cached run and a plan unit with equal keys are the same work.
-	Key CacheKey `json:"key"`
-
-	// group indexes the plan's source group (one workload source per
-	// (spec, seed)); units of a group share one trace source at run time.
-	group int
-}
-
-// planGroup is the set of plan units that share one workload source.
-type planGroup struct {
-	spec  BenchmarkSpec
-	seed  int64
-	units []int // indexes into Plan.units, in plan order
-}
+type Unit = engine.Unit
 
 // Plan is a deterministic, ordered enumeration of every unit of a sweep:
 // the benchmark × RMW type × seed grid under one architectural
@@ -62,130 +25,7 @@ type planGroup struct {
 // simulation — so every process of a sharded fleet can rebuild the
 // identical plan from the same Options and agree on unit identities,
 // which the plan fingerprint certifies.
-type Plan struct {
-	opts   Options
-	units  []Unit
-	groups []planGroup
-	byID   map[UnitID]int // unit ID -> index into units
-	fp     string
-}
-
-// BuildPlan enumerates the sweep plan for the options and benchmark
-// specs: units are ordered spec-major, then seed, then RMW type — the
-// exact execution and result order of Runner.RunBenchmarks. Specs with no
-// types are skipped. It fails on invalid options or configurations and on
-// a unit-ID collision (which would make two distinct work units alias).
-func BuildPlan(o Options, specs []BenchmarkSpec) (*Plan, error) {
-	return BuildPlanSeeds(o, specs, o.Seed)
-}
-
-// BuildPlanSeeds is BuildPlan over an explicit seed list, for sweeps that
-// rerun the grid under several workload seeds. Every (spec, seed) pair
-// becomes one source group; note the trace name does not embed the seed,
-// so multi-seed plans are for unit-level consumers (sharding, artifacts),
-// not for the name-keyed report tables.
-func BuildPlanSeeds(o Options, specs []BenchmarkSpec, seeds ...int64) (*Plan, error) {
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	if len(seeds) == 0 {
-		seeds = []int64{o.Seed}
-	}
-	base := o.BaseConfig()
-	p := &Plan{opts: o, byID: map[UnitID]int{}}
-	byID := p.byID
-	for _, spec := range specs {
-		if len(spec.Types) == 0 {
-			continue
-		}
-		for _, seed := range seeds {
-			gen := workload.Generator{Cores: base.Cores, Seed: seed, Replacement: spec.Variant}
-			src, err := gen.Source(o.ScaledProfile(spec.Profile))
-			if err != nil {
-				return nil, err
-			}
-			group := planGroup{spec: spec, seed: seed}
-			for _, typ := range spec.Types {
-				cfg := base.WithRMWType(typ)
-				// Validate before digesting, exactly like the cache paths:
-				// an invalid configuration must never mint a unit identity.
-				if err := cfg.Validate(); err != nil {
-					return nil, err
-				}
-				key := simcache.SimKey(cfg, src, seed, o.Scale)
-				id := UnitID(key.UnitID())
-				if prev, dup := byID[id]; dup {
-					return nil, fmt.Errorf("rmwtso: unit ID %s collides between %s/%s and %s/%s",
-						id, p.units[prev].Trace, p.units[prev].Type, src.Name(), typ)
-				}
-				byID[id] = len(p.units)
-				group.units = append(group.units, len(p.units))
-				p.units = append(p.units, Unit{
-					ID:        id,
-					Trace:     src.Name(),
-					Benchmark: spec.Profile.Name,
-					Variant:   spec.Variant,
-					Type:      typ,
-					Seed:      seed,
-					Scale:     key.Scale,
-					Key:       key,
-					group:     len(p.groups),
-				})
-			}
-			p.groups = append(p.groups, group)
-		}
-	}
-
-	h := sha256.New()
-	fmt.Fprintf(h, "rmwtso-plan/v%d\n", ShardSchemaVersion)
-	for _, u := range p.units {
-		fmt.Fprintln(h, u.Key.Canonical())
-	}
-	p.fp = hex.EncodeToString(h.Sum(nil))
-	return p, nil
-}
-
-// DefaultPlan enumerates the paper's full simulation sweep — the seven
-// Table 3 benchmarks plus the wsq-mst C/C++11 replacement variants, each
-// under its sound RMW types — for the options.
-func DefaultPlan(o Options) (*Plan, error) {
-	return BuildPlan(o, append(Table3Specs(), Cpp11Specs()...))
-}
-
-// Units returns the plan's units in plan order.
-func (p *Plan) Units() []Unit { return append([]Unit(nil), p.units...) }
-
-// Len returns the number of units in the plan.
-func (p *Plan) Len() int { return len(p.units) }
-
-// Options returns the options the plan was built from.
-func (p *Plan) Options() Options { return p.opts }
-
-// Fingerprint returns the hex digest of the plan's full unit enumeration
-// (every unit's canonical cache key, in order). Two plans with equal
-// fingerprints describe the same work; shard artifacts embed it so a
-// merge cannot mix shards of different sweeps.
-func (p *Plan) Fingerprint() string { return p.fp }
-
-// Unit returns the plan unit with the given ID.
-func (p *Plan) Unit(id UnitID) (Unit, bool) {
-	i, ok := p.byID[id]
-	if !ok {
-		return Unit{}, false
-	}
-	return p.units[i], true
-}
-
-// Select returns the units a shard covers, in plan order.
-func (p *Plan) Select(s Shard) []Unit {
-	var out []Unit
-	for pos, u := range p.units {
-		if s.Covers(pos, u.ID) {
-			out = append(out, u)
-		}
-	}
-	return out
-}
+type Plan = engine.Plan
 
 // Shard selects a subset of a plan's units for one process of a fleet.
 // The zero value selects the whole plan. With Count > 0, units are dealt
@@ -194,81 +34,44 @@ func (p *Plan) Select(s Shard) []Unit {
 // and adjacent (cheap and expensive) units spread across the fleet. Only,
 // when non-nil, additionally restricts the shard to units whose ID it
 // accepts — set it alone (Count == 0) for an arbitrary unit-ID predicate.
-type Shard struct {
-	// Index and Count select round-robin shard Index of Count.
-	Index int `json:"index"`
-	Count int `json:"count"`
-	// Only, when non-nil, keeps only units whose ID it accepts.
-	Only func(UnitID) bool `json:"-"`
+type Shard = engine.Shard
+
+// BuildPlan enumerates the sweep plan for the options and benchmark
+// specs: units are ordered spec-major, then seed, then RMW type — the
+// exact execution and result order of Runner.RunBenchmarks. Specs with no
+// types are skipped. It fails on invalid options or configurations and on
+// a unit-ID collision (which would make two distinct work units alias).
+func BuildPlan(o Options, specs []BenchmarkSpec) (*Plan, error) {
+	return engine.BuildPlan(o, specs)
+}
+
+// BuildPlanSeeds is BuildPlan over an explicit seed list, for sweeps that
+// rerun the grid under several workload seeds. Every (spec, seed) pair
+// becomes one source group; group identity — and thus the report's
+// run-level identity — includes the seed (BenchmarkRun.Seed), so
+// multi-seed plans reassemble into one run per (spec, seed) without
+// name collisions.
+func BuildPlanSeeds(o Options, specs []BenchmarkSpec, seeds ...int64) (*Plan, error) {
+	return engine.BuildPlanSeeds(o, specs, seeds...)
+}
+
+// DefaultPlan enumerates the paper's full simulation sweep — the seven
+// Table 3 benchmarks plus the wsq-mst C/C++11 replacement variants, each
+// under its sound RMW types — for the options.
+func DefaultPlan(o Options) (*Plan, error) { return engine.DefaultPlan(o) }
+
+// DefaultPlanSeeds is DefaultPlan over an explicit seed list: the full
+// sweep grid rerun under each workload seed.
+func DefaultPlanSeeds(o Options, seeds ...int64) (*Plan, error) {
+	return engine.DefaultPlanSeeds(o, seeds...)
 }
 
 // FullShard returns the selector that covers the whole plan.
-func FullShard() Shard { return Shard{} }
-
-// Validate rejects malformed selectors: a negative count, or an index
-// outside [0, Count) when Count is set.
-func (s Shard) Validate() error {
-	switch {
-	case s.Count < 0:
-		return fmt.Errorf("rmwtso: negative shard count %d", s.Count)
-	case s.Count == 0 && s.Index != 0:
-		return fmt.Errorf("rmwtso: shard index %d without a shard count", s.Index)
-	case s.Count > 0 && (s.Index < 0 || s.Index >= s.Count):
-		return fmt.Errorf("rmwtso: shard index %d outside [0, %d)", s.Index, s.Count)
-	}
-	return nil
-}
-
-// Covers reports whether the shard selects the unit with the given ID at
-// the given plan position. It is the single selection rule every sharded
-// surface shares (Plan.Select, RunPlan, CheckTestsSharded, the binaries'
-// -list-units audits), so a listing can never drift from what actually
-// runs.
-func (s Shard) Covers(pos int, id UnitID) bool {
-	if s.Count > 0 && pos%s.Count != s.Index {
-		return false
-	}
-	if s.Only != nil && !s.Only(id) {
-		return false
-	}
-	return true
-}
-
-// String renders the selector ("2/4", "all", or "filtered").
-func (s Shard) String() string {
-	switch {
-	case s.Count > 0:
-		return fmt.Sprintf("%d/%d", s.Index, s.Count)
-	case s.Only != nil:
-		return "filtered"
-	}
-	return "all"
-}
+func FullShard() Shard { return engine.FullShard() }
 
 // ParseShard parses an "i/n" selector ("0/3" is the first of three
 // shards), as taken by the binaries' -shard flag.
-func ParseShard(spec string) (Shard, error) {
-	idx, cnt, ok := strings.Cut(spec, "/")
-	if !ok {
-		return Shard{}, fmt.Errorf("rmwtso: shard %q is not of the form i/n", spec)
-	}
-	i, err := strconv.Atoi(strings.TrimSpace(idx))
-	if err != nil {
-		return Shard{}, fmt.Errorf("rmwtso: shard index %q: %w", idx, err)
-	}
-	n, err := strconv.Atoi(strings.TrimSpace(cnt))
-	if err != nil {
-		return Shard{}, fmt.Errorf("rmwtso: shard count %q: %w", cnt, err)
-	}
-	s := Shard{Index: i, Count: n}
-	if n == 0 {
-		return Shard{}, fmt.Errorf("rmwtso: shard count must be positive in %q", spec)
-	}
-	if err := s.Validate(); err != nil {
-		return Shard{}, err
-	}
-	return s, nil
-}
+func ParseShard(spec string) (Shard, error) { return engine.ParseShard(spec) }
 
 // RunPlan executes the units of the plan a shard selects on the Runner's
 // worker pool and returns their results as a shard artifact. A nil ctx
@@ -284,273 +87,5 @@ func ParseShard(spec string) (Shard, error) {
 // cache (WithCache, else the plan options' Cache/CacheDir) serves and
 // stores units by the same keys, so warm shards do zero simulation work.
 func (r *Runner) RunPlan(ctx context.Context, plan *Plan, shard Shard) (*ShardResult, error) {
-	if r.opts.coord != nil {
-		return r.runPlanCoordinated(ctx, plan, shard)
-	}
-	if err := shard.Validate(); err != nil {
-		return nil, err
-	}
-	if ctx == nil {
-		ctx = r.opts.ctx
-	}
-	cache, err := r.planCache(plan)
-	if err != nil {
-		return nil, err
-	}
-
-	selected := plan.Select(shard)
-	selectedIDs := make(map[UnitID]bool, len(selected))
-	for _, u := range selected {
-		selectedIDs[u.ID] = true
-	}
-
-	// Phase 1: build one trace source per group with selected units.
-	// Sources are cheap until drained; with Materialize a group's ops are
-	// pre-built and shared across its per-type runs unless every selected
-	// unit of the group is already cached.
-	groupIdx := make([]int, 0, len(plan.groups))
-	seen := map[int]bool{}
-	for _, u := range selected {
-		if !seen[u.group] {
-			seen[u.group] = true
-			groupIdx = append(groupIdx, u.group)
-		}
-	}
-	base := plan.opts.BaseConfig()
-	sources := make([]TraceSource, len(plan.groups))
-	err = r.runUnitsCtx(ctx, len(groupIdx), func(i int) error {
-		src, err := plan.groupSource(plan.groups[groupIdx[i]], cache, selectedIDs)
-		if err != nil {
-			return err
-		}
-		sources[groupIdx[i]] = src
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase 2: simulate each selected unit, sharing its group's source.
-	results := make([]UnitResult, len(selected))
-	err = r.runUnitsCtx(ctx, len(selected), func(i int) error {
-		u := selected[i]
-		ur, err := r.runUnit(base, u, sources[u.group], cache)
-		if err != nil {
-			return err
-		}
-		results[i] = ur
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	return &ShardResult{
-		Plan:     plan.fp,
-		Index:    shard.Index,
-		Count:    shard.Count,
-		Filtered: shard.Only != nil,
-		Units:    results,
-	}, nil
-}
-
-// planCache resolves the result cache a plan execution consults: the
-// Runner's (WithCache), else the plan options' Cache/CacheDir.
-func (r *Runner) planCache(plan *Plan) (*simcache.Cache, error) {
-	if r.opts.cache != nil {
-		return r.opts.cache, nil
-	}
-	return plan.opts.ResultCache()
-}
-
-// groupSource builds the trace source one plan group's units share: the
-// group's workload generator stream, materialized once when the plan
-// options ask for it and the group still has uncached selected units. A
-// nil selected set means every unit of the group counts as selected.
-// This is phase 1 of RunPlan; coordinated sweeps build the same sources
-// lazily as workers lease into a group.
-func (p *Plan) groupSource(g planGroup, cache *simcache.Cache, selected map[UnitID]bool) (TraceSource, error) {
-	base := p.opts.BaseConfig()
-	gen := workload.Generator{Cores: base.Cores, Seed: g.seed, Replacement: g.spec.Variant}
-	src, err := gen.Source(p.opts.ScaledProfile(g.spec.Profile))
-	if err != nil {
-		return nil, err
-	}
-	cached := cache != nil
-	for _, ui := range g.units {
-		if cached && selected != nil && !selected[p.units[ui].ID] {
-			continue
-		}
-		if cached && !cache.Has(p.units[ui].Key) {
-			cached = false
-		}
-	}
-	if p.opts.Materialize && !cached {
-		return sim.Materialize(src).Source(), nil
-	}
-	return src, nil
-}
-
-// runUnit executes one plan unit against its group's source — serving it
-// from the cache when possible, simulating and storing otherwise — and
-// emits its SimRun event. It is the single execution path behind both
-// the static worker pool (RunPlan phase 2) and the coordinator's pull
-// workers, so the two modes cannot drift.
-func (r *Runner) runUnit(base SimConfig, u Unit, src TraceSource, cache *simcache.Cache) (UnitResult, error) {
-	if cache != nil {
-		if res, ok := cache.GetSim(u.Key); ok {
-			// Warm runs must reject a deadlocked result exactly like
-			// cold runs do (such entries are never stored here, but a
-			// foreign writer could have).
-			if res.Deadlocked {
-				return UnitResult{}, deadlockError(u.Trace, u.Type)
-			}
-			ur := UnitResult{Unit: u.ID, Trace: u.Trace, Type: u.Type, Seed: u.Seed, CacheHit: true, Result: res}
-			r.emit(Event{Sim: &SimRun{Unit: u.ID, Trace: u.Trace, Type: u.Type, Result: res, CacheHit: true}})
-			return ur, nil
-		}
-	}
-	res, err := SimulateSource(base.WithRMWType(u.Type), src)
-	if err != nil {
-		return UnitResult{}, err
-	}
-	if res.Deadlocked {
-		return UnitResult{}, deadlockError(u.Trace, u.Type)
-	}
-	if cache != nil {
-		_ = cache.PutSim(u.Key, res)
-	}
-	ur := UnitResult{Unit: u.ID, Trace: u.Trace, Type: u.Type, Seed: u.Seed, Result: res}
-	r.emit(Event{Sim: &SimRun{Unit: u.ID, Trace: u.Trace, Type: u.Type, Result: res}})
-	return ur, nil
-}
-
-// listedUnitsMax bounds how many unit IDs a merge-path error message
-// spells out; the remainder is summarized as a count, so a merge of a
-// huge plan missing hundreds of units still produces a readable error.
-const listedUnitsMax = 8
-
-// boundedList renders the items sorted, capped at max entries with the
-// remainder summarized ("a, b, …, h and 12 more"). Sorting makes the
-// message deterministic regardless of plan or arrival order; merge-path
-// errors rely on both properties.
-func boundedList(items []string, max int) string {
-	sorted := append([]string(nil), items...)
-	sort.Strings(sorted)
-	if len(sorted) <= max {
-		return strings.Join(sorted, ", ")
-	}
-	return fmt.Sprintf("%s and %d more", strings.Join(sorted[:max], ", "), len(sorted)-max)
-}
-
-// unitDesc renders a unit's identity for error messages.
-func unitDesc(id UnitID, trace string, typ AtomicityType) string {
-	return fmt.Sprintf("%s (%s under %s)", id, trace, typ)
-}
-
-// indexResults validates unit results against the plan — an alien unit, a
-// duplicated unit (all duplicates listed, sorted and bounded) or a
-// result-less unit is an error — and indexes them by unit ID.
-func (p *Plan) indexResults(units []UnitResult) (map[UnitID]*SimResult, error) {
-	byID := make(map[UnitID]*SimResult, len(units))
-	var dups []string
-	dupSeen := map[UnitID]bool{}
-	for _, ur := range units {
-		u, ok := p.Unit(ur.Unit)
-		if !ok {
-			return nil, fmt.Errorf("rmwtso: unit %s is not in the plan", unitDesc(ur.Unit, ur.Trace, ur.Type))
-		}
-		if _, dup := byID[ur.Unit]; dup {
-			if !dupSeen[ur.Unit] {
-				dupSeen[ur.Unit] = true
-				dups = append(dups, unitDesc(ur.Unit, ur.Trace, ur.Type))
-			}
-			continue
-		}
-		if ur.Result == nil {
-			return nil, fmt.Errorf("rmwtso: unit %s has no result", unitDesc(ur.Unit, u.Trace, u.Type))
-		}
-		byID[ur.Unit] = ur.Result
-	}
-	if len(dups) > 0 {
-		return nil, fmt.Errorf("rmwtso: %d of %d plan units appear twice or more: %s",
-			len(dups), len(p.units), boundedList(dups, listedUnitsMax))
-	}
-	return byID, nil
-}
-
-// missingUnits returns the descriptions and IDs of the plan units absent
-// from the index, each list sorted by unit ID.
-func (p *Plan) missingUnits(byID map[UnitID]*SimResult) (descs []string, ids []UnitID) {
-	for _, u := range p.units {
-		if _, ok := byID[u.ID]; !ok {
-			descs = append(descs, unitDesc(u.ID, u.Trace, u.Type))
-			ids = append(ids, u.ID)
-		}
-	}
-	sort.Strings(descs)
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return descs, ids
-}
-
-// groupRuns reassembles one BenchmarkRun per source group whose units are
-// all present in the index, in plan order.
-func (p *Plan) groupRuns(byID map[UnitID]*SimResult) []*BenchmarkRun {
-	var runs []*BenchmarkRun
-	for _, g := range p.groups {
-		run := &BenchmarkRun{
-			Profile: g.spec.Profile,
-			Variant: g.spec.Variant,
-			ByType:  map[AtomicityType]*SimResult{},
-		}
-		complete := true
-		for _, ui := range g.units {
-			u := p.units[ui]
-			res, ok := byID[u.ID]
-			if !ok {
-				complete = false
-				break
-			}
-			run.Name = u.Trace
-			run.ByType[u.Type] = res
-		}
-		if complete {
-			runs = append(runs, run)
-		}
-	}
-	return runs
-}
-
-// Runs reassembles benchmark runs from unit results, in plan order: one
-// BenchmarkRun per (spec, seed) source group with one ByType entry per
-// unit. It requires exactly the plan's unit set — a missing, duplicated
-// or alien unit is an error, with the offending unit IDs listed sorted
-// and bounded — so a partial shard cannot silently masquerade as a
-// finished sweep; merge shard artifacts with MergeShards first.
-func (p *Plan) Runs(units []UnitResult) ([]*BenchmarkRun, error) {
-	byID, err := p.indexResults(units)
-	if err != nil {
-		return nil, err
-	}
-	if missing, _ := p.missingUnits(byID); len(missing) > 0 {
-		return nil, fmt.Errorf("rmwtso: %d of %d plan units missing: %s",
-			len(missing), len(p.units), boundedList(missing, listedUnitsMax))
-	}
-	return p.groupRuns(byID), nil
-}
-
-// RunsPartial is Runs for a sweep that legitimately ended incomplete — a
-// coordinated run with dead-lettered units. It reassembles the benchmark
-// runs of every source group whose units all finished and reports the
-// IDs of the absent units (sorted), instead of failing on them; alien,
-// duplicated and result-less units are still errors. Callers render the
-// partial report alongside the missing list so a reader can never
-// mistake it for a finished sweep.
-func (p *Plan) RunsPartial(units []UnitResult) ([]*BenchmarkRun, []UnitID, error) {
-	byID, err := p.indexResults(units)
-	if err != nil {
-		return nil, nil, err
-	}
-	_, missing := p.missingUnits(byID)
-	return p.groupRuns(byID), missing, nil
+	return r.eng.RunPlan(ctx, plan, shard)
 }

@@ -2,93 +2,45 @@ package rmwtso
 
 import (
 	"context"
-	"runtime"
-	"sync"
 
-	"repro/internal/cpp11"
-	"repro/internal/sim"
-	"repro/internal/simcache"
+	"repro/internal/engine"
 )
 
 // Event is one streamed result from a Runner: exactly one field is
 // non-nil. Events are delivered to the observer serially (never
 // concurrently), in completion order, as soon as each work unit finishes.
-type Event struct {
-	// Litmus is set when the unit was one litmus verdict.
-	Litmus *TestResult
-	// Mapping is set when the unit was one C/C++11 mapping validation.
-	Mapping *MappingResult
-	// Sim is set when the unit was one simulator run.
-	Sim *SimRun
-	// Coord is set for coordination state transitions of a dynamically
-	// coordinated sweep (lease, requeue, dead-letter, …), streamed
-	// alongside the SimRun events of the same sweep.
-	Coord *CoordEvent
-}
+type Event = engine.Event
 
 // Observer receives streamed events. It is called from worker goroutines
 // but never concurrently, so it needs no locking of its own.
-type Observer func(Event)
+type Observer = engine.Observer
 
 // ChannelObserver adapts a channel into an Observer. The caller owns the
 // channel and must drain it; sends block the pool when the channel is
 // unbuffered.
-func ChannelObserver(ch chan<- Event) Observer {
-	return func(e Event) { ch <- e }
-}
+func ChannelObserver(ch chan<- Event) Observer { return engine.ChannelObserver(ch) }
 
 // SimRun is one simulator run of a sweep: one trace under one RMW type.
-type SimRun struct {
-	// Unit is the run's stable plan-unit identifier (derived from the
-	// content-addressed cache key), so streamed progress events correlate
-	// with Plan entries without reconstructing the (trace, type, seed)
-	// tuple. It is empty for runs outside the unit model (SweepTraces and
-	// uncacheable SweepSource runs, whose key material is unknown).
-	Unit UnitID
-	// Trace is the name of the simulated trace.
-	Trace string
-	// Type is the RMW atomicity type the run used.
-	Type AtomicityType
-	// Result holds the run's statistics.
-	Result *SimResult
-	// CacheHit marks a run served from the Runner's result cache: no
-	// simulator executed for it. Observers can count hits to verify a
-	// warm sweep did zero simulation work.
-	CacheHit bool
-}
-
-// options collects the Runner configuration set by functional options.
-type options struct {
-	ctx         context.Context
-	parallelism int
-	enumWorkers int
-	observer    Observer
-	types       []AtomicityType
-	cache       *simcache.Cache
-	coord       *CoordinationConfig
-}
+// Unit carries the run's stable plan-unit identifier (empty for runs
+// outside the unit model), and CacheHit marks a run served from the
+// Runner's result cache without executing the simulator.
+type SimRun = engine.SimRun
 
 // Option configures a Runner.
-type Option func(*options)
+type Option = engine.Option
 
 // WithContext makes the Runner honour ctx: cancellation stops the sweep
 // before the next work unit and the in-flight results are discarded; the
 // Runner method returns ctx's error.
-func WithContext(ctx context.Context) Option {
-	return func(o *options) { o.ctx = ctx }
-}
+func WithContext(ctx context.Context) Option { return engine.WithContext(ctx) }
 
 // WithParallelism sets the worker-pool size. Values below 1 mean 1; the
 // default is runtime.GOMAXPROCS(0).
-func WithParallelism(n int) Option {
-	return func(o *options) { o.parallelism = n }
-}
+func WithParallelism(n int) Option { return engine.WithParallelism(n) }
 
 // WithObserver streams every finished work unit to fn as it completes,
 // in completion order. fn is never called concurrently.
-func WithObserver(fn Observer) Option {
-	return func(o *options) { o.observer = fn }
-}
+func WithObserver(fn Observer) Option { return engine.WithObserver(fn) }
 
 // WithEnumWorkers sets how many goroutines each single litmus verdict or
 // mapping validation fans its candidate enumeration across: the rf×ws
@@ -100,9 +52,7 @@ func WithObserver(fn Observer) Option {
 // huge verdict no longer serializes on a single core. This parallelism is
 // inside one work unit and multiplies with WithParallelism's unit-level
 // pool.
-func WithEnumWorkers(n int) Option {
-	return func(o *options) { o.enumWorkers = n }
-}
+func WithEnumWorkers(n int) Option { return engine.WithEnumWorkers(n) }
 
 // WithCache makes the Runner consult (and fill) a content-addressed
 // result cache: litmus verdicts in CheckTests/CheckSuite, and simulator
@@ -110,140 +60,89 @@ func WithEnumWorkers(n int) Option {
 // computation entirely and are flagged on the streamed event (SimRun and
 // TestResult carry a CacheHit field); results are identical either way.
 // A nil cache disables caching (the default).
-func WithCache(c *Cache) Option {
-	return func(o *options) { o.cache = c }
-}
+func WithCache(c *Cache) Option { return engine.WithCache(c) }
 
 // WithRMWTypes restricts the atomicity types the Runner checks or sweeps.
 // The default is all three types.
-func WithRMWTypes(types ...AtomicityType) Option {
-	return func(o *options) { o.types = append([]AtomicityType(nil), types...) }
-}
+func WithRMWTypes(types ...AtomicityType) Option { return engine.WithRMWTypes(types...) }
 
-// Runner fans work units — litmus verdicts, mapping validations,
-// simulator runs — across a goroutine pool, streaming each finished unit
-// to the observer while returning aggregates in deterministic order. A
-// Runner is safe for repeated use; each method call runs its own pool.
+// Job is one unit of work submitted to the execution engine: exactly one
+// of Plan or Litmus must be set, with Shard restricting the job to the
+// units it covers.
+type Job = engine.Job
+
+// LitmusGrid is the litmus-verdict form of a Job: the (test, type) grid
+// over the Runner's configured atomicity types.
+type LitmusGrid = engine.LitmusGrid
+
+// JobResult is the outcome of one finished job: Shard for plan jobs,
+// Verdicts for litmus jobs.
+type JobResult = engine.JobResult
+
+// JobHandle tracks one submitted job: Wait blocks for the result, Done
+// exposes completion for select loops, and Metrics snapshots the job's
+// progress counters at any time.
+type JobHandle = engine.JobHandle
+
+// Metrics is a point-in-time snapshot of the execution counters: unit
+// throughput, cache effectiveness, and — for coordinated sweeps — the
+// queue's lease/retry/DLQ state.
+type Metrics = engine.Metrics
+
+// WorkerMetrics is one coordinated worker's traffic in a Metrics
+// snapshot.
+type WorkerMetrics = engine.WorkerMetrics
+
+// DeadLetterMetrics is one dead-lettered unit with its failure history in
+// a Metrics snapshot.
+type DeadLetterMetrics = engine.DeadLetterMetrics
+
+// ResultStore is the engine's result-lookup view: unit results of every
+// absorbed shard artifact by unit ID, backed by the result cache for
+// full-key lookups.
+type ResultStore = engine.ResultStore
+
+// Runner is the public face of the execution engine (internal/engine): it
+// fans work units — litmus verdicts, mapping validations, simulator
+// runs — across a goroutine pool, streaming each finished unit to the
+// observer while returning aggregates in deterministic order. A Runner is
+// safe for repeated use; each method call runs its own pool.
 type Runner struct {
-	opts   options
-	emitMu sync.Mutex
+	eng *engine.Engine
 }
 
 // NewRunner builds a Runner from the options.
 func NewRunner(opts ...Option) *Runner {
-	o := options{
-		ctx:         context.Background(),
-		parallelism: runtime.GOMAXPROCS(0),
-		types:       AllTypes(),
-	}
-	for _, f := range opts {
-		f(&o)
-	}
-	if o.parallelism < 1 {
-		o.parallelism = 1
-	}
-	if len(o.types) == 0 {
-		o.types = AllTypes()
-	}
-	return &Runner{opts: o}
+	return &Runner{eng: engine.New(opts...)}
 }
 
 // Types returns the atomicity types the Runner is configured with.
-func (r *Runner) Types() []AtomicityType {
-	return append([]AtomicityType(nil), r.opts.types...)
+func (r *Runner) Types() []AtomicityType { return r.eng.Types() }
+
+// Submit starts a job on the execution engine and returns a handle for
+// it. A nil ctx uses the Runner's context (WithContext). The job executes
+// asynchronously; all execution errors surface through the handle's Wait,
+// and every finished unit streams to the observer as it completes. A
+// malformed job (neither or both of Plan and Litmus) is rejected
+// synchronously.
+func (r *Runner) Submit(ctx context.Context, job Job) (*JobHandle, error) {
+	return r.eng.Submit(ctx, job)
 }
 
-// emit delivers one event to the observer, serialized across workers.
-func (r *Runner) emit(e Event) {
-	if r.opts.observer == nil {
-		return
-	}
-	r.emitMu.Lock()
-	defer r.emitMu.Unlock()
-	r.opts.observer(e)
-}
+// Metrics snapshots the Runner's engine-wide execution counters across
+// every job and sweep it has run.
+func (r *Runner) Metrics() Metrics { return r.eng.Metrics() }
 
-// runUnits executes run(0..n-1) on the worker pool under the Runner's
-// own context. It returns the context's error if cancelled, otherwise the
-// first unit error. Units are claimed in order but finish in any order;
-// each unit writes only its own result slot, so aggregates stay
-// deterministic.
-func (r *Runner) runUnits(n int, run func(int) error) error {
-	return r.runUnitsCtx(r.opts.ctx, n, run)
-}
-
-// runUnitsCtx is runUnits under an explicit context (RunPlan accepts a
-// per-call context on top of the Runner's).
-func (r *Runner) runUnitsCtx(ctx context.Context, n int, run func(int) error) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if n == 0 {
-		return nil
-	}
-	workers := r.opts.parallelism
-	if workers > n {
-		workers = n
-	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	setErr := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	failed := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstErr != nil
-	}
-
-	next := make(chan int)
-	go func() {
-		defer close(next)
-		for i := 0; i < n; i++ {
-			select {
-			case next <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if ctx.Err() != nil || failed() {
-					continue
-				}
-				if err := run(i); err != nil {
-					setErr(err)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	return firstErr
-}
+// Results returns the Runner's result store: a lookup view over the
+// configured cache plus every shard artifact the engine has produced.
+func (r *Runner) Results() *ResultStore { return r.eng.Results() }
 
 // CheckTests model-checks every test under every configured RMW type.
 // Each (test, type) verdict is one work unit; finished verdicts stream to
 // the observer immediately. The returned slice is ordered (test, type)
 // regardless of parallelism or completion order.
 func (r *Runner) CheckTests(tests ...*Test) ([]TestResult, error) {
-	return r.CheckTestsSharded(FullShard(), tests...)
+	return r.eng.CheckTests(tests...)
 }
 
 // CheckTestsSharded is CheckTests restricted to the verdict units a
@@ -255,52 +154,7 @@ func (r *Runner) CheckTests(tests ...*Test) ([]TestResult, error) {
 // the selected units, still in (test, type) order, and every result
 // carries its unit ID for correlation.
 func (r *Runner) CheckTestsSharded(shard Shard, tests ...*Test) ([]TestResult, error) {
-	if err := shard.Validate(); err != nil {
-		return nil, err
-	}
-	types := r.opts.types
-	type unit struct {
-		ti, yi int
-		id     UnitID
-	}
-	units := make([]unit, 0, len(tests)*len(types))
-	pos := 0
-	for ti := range tests {
-		for yi := range types {
-			id := UnitID(LitmusCacheKey(tests[ti], types[yi]).UnitID())
-			if shard.Covers(pos, id) {
-				units = append(units, unit{ti, yi, id})
-			}
-			pos++
-		}
-	}
-	results := make([]TestResult, len(units))
-	err := r.runUnits(len(units), func(i int) error {
-		u := units[i]
-		if r.opts.cache != nil {
-			if res, ok := cachedVerdict(r.opts.cache, tests[u.ti], types[u.yi]); ok {
-				res.Unit = string(u.id)
-				results[i] = res
-				r.emit(Event{Litmus: &results[i]})
-				return nil
-			}
-		}
-		res, err := tests[u.ti].RunParallel(r.opts.ctx, types[u.yi], r.opts.enumWorkers)
-		if err != nil {
-			return err
-		}
-		if r.opts.cache != nil {
-			storeVerdict(r.opts.cache, res)
-		}
-		res.Unit = string(u.id)
-		results[i] = res
-		r.emit(Event{Litmus: &results[i]})
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	return r.eng.CheckTestsSharded(shard, tests...)
 }
 
 // CheckSuite model-checks the full registered litmus suite; shorthand for
@@ -313,32 +167,7 @@ func (r *Runner) CheckSuite() ([]TestResult, error) {
 // RMW type for each program. Each (program, mapping, type) combination is
 // one work unit; the returned slice is ordered (program, mapping, type).
 func (r *Runner) ValidateMappings(programs ...*Cpp11Program) ([]MappingResult, error) {
-	mappings := AllMappings()
-	types := r.opts.types
-	type unit struct{ pi, mi, yi int }
-	units := make([]unit, 0, len(programs)*len(mappings)*len(types))
-	for pi := range programs {
-		for mi := range mappings {
-			for yi := range types {
-				units = append(units, unit{pi, mi, yi})
-			}
-		}
-	}
-	results := make([]MappingResult, len(units))
-	err := r.runUnits(len(units), func(i int) error {
-		u := units[i]
-		res, err := cpp11.ValidateMappingParallel(r.opts.ctx, programs[u.pi], mappings[u.mi], types[u.yi], r.opts.enumWorkers)
-		if err != nil {
-			return err
-		}
-		results[i] = res
-		r.emit(Event{Mapping: &results[i]})
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	return r.eng.ValidateMappings(programs...)
 }
 
 // SweepTrace simulates one trace under every configured RMW type, one
@@ -347,7 +176,7 @@ func (r *Runner) ValidateMappings(programs ...*Cpp11Program) ([]MappingResult, e
 // SweepSource over the trace's own source, since a materialized run is
 // defined as replaying the trace's streams.
 func (r *Runner) SweepTrace(cfg SimConfig, trace *Trace) ([]SimRun, error) {
-	return r.SweepSource(cfg, trace.Source())
+	return r.eng.SweepTrace(cfg, trace)
 }
 
 // SweepSource simulates one streaming trace source under every configured
@@ -358,14 +187,7 @@ func (r *Runner) SweepTrace(cfg SimConfig, trace *Trace) ([]SimRun, error) {
 // Trace.Source both do), since the per-type runs consume it concurrently.
 // The returned slice is ordered like the configured types.
 func (r *Runner) SweepSource(cfg SimConfig, src TraceSource) ([]SimRun, error) {
-	return r.sweepSource(cfg, src, nil)
-}
-
-// sweepKeyMeta carries the workload identity a sweep needs to derive
-// cache keys; nil disables caching for the sweep.
-type sweepKeyMeta struct {
-	seed  int64
-	scale float64
+	return r.eng.SweepSource(cfg, src)
 }
 
 // SweepSourceCached is SweepSource consulting the Runner's cache
@@ -375,89 +197,11 @@ type sweepKeyMeta struct {
 // run and are stored. Without a configured cache it behaves exactly like
 // SweepSource.
 func (r *Runner) SweepSourceCached(cfg SimConfig, src TraceSource, seed int64, scale float64) ([]SimRun, error) {
-	return r.sweepSource(cfg, src, &sweepKeyMeta{seed: seed, scale: scale})
-}
-
-// sweepSource is the shared per-type sweep; meta enables cache lookups.
-func (r *Runner) sweepSource(cfg SimConfig, src TraceSource, meta *sweepKeyMeta) ([]SimRun, error) {
-	types := r.opts.types
-	cache := r.opts.cache
-	if meta == nil {
-		cache = nil
-	}
-	runs := make([]SimRun, len(types))
-	err := r.runUnits(len(types), func(i int) error {
-		run := cfg.WithRMWType(types[i])
-		if err := run.Validate(); err != nil {
-			return err
-		}
-		var key simcache.Key
-		var unit UnitID
-		if meta != nil {
-			// The unit identity exists whenever the key material does,
-			// cache or no cache, so observers can correlate events with a
-			// plan built from the same inputs.
-			key = simcache.SimKey(run, src, meta.seed, meta.scale)
-			unit = UnitID(key.UnitID())
-		}
-		if cache != nil {
-			// Deadlocked entries are never stored, but a foreign one is
-			// also never served: deadlocks always re-execute.
-			if res, ok := cache.GetSim(key); ok && !res.Deadlocked {
-				runs[i] = SimRun{Unit: unit, Trace: src.Name(), Type: types[i], Result: res, CacheHit: true}
-				r.emit(Event{Sim: &runs[i]})
-				return nil
-			}
-		}
-		s, err := sim.New(run)
-		if err != nil {
-			return err
-		}
-		res, err := s.RunSource(src)
-		if err != nil {
-			return err
-		}
-		if cache != nil && !res.Deadlocked {
-			_ = cache.PutSim(key, res)
-		}
-		runs[i] = SimRun{Unit: unit, Trace: src.Name(), Type: types[i], Result: res}
-		r.emit(Event{Sim: &runs[i]})
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return runs, nil
+	return r.eng.SweepSourceCached(cfg, src, seed, scale)
 }
 
 // SweepTraces simulates every (trace, configured type) pair across the
 // pool. The returned slice is ordered (trace, type).
 func (r *Runner) SweepTraces(cfg SimConfig, traces ...*Trace) ([]SimRun, error) {
-	types := r.opts.types
-	type unit struct{ ti, yi int }
-	units := make([]unit, 0, len(traces)*len(types))
-	for ti := range traces {
-		for yi := range types {
-			units = append(units, unit{ti, yi})
-		}
-	}
-	runs := make([]SimRun, len(units))
-	err := r.runUnits(len(units), func(i int) error {
-		u := units[i]
-		s, err := sim.New(cfg.WithRMWType(types[u.yi]))
-		if err != nil {
-			return err
-		}
-		res, err := s.Run(traces[u.ti])
-		if err != nil {
-			return err
-		}
-		runs[i] = SimRun{Trace: traces[u.ti].Name, Type: types[u.yi], Result: res}
-		r.emit(Event{Sim: &runs[i]})
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return runs, nil
+	return r.eng.SweepTraces(cfg, traces...)
 }

@@ -12,6 +12,10 @@ package repro_test
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -20,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/litmus"
 	"repro/internal/memmodel"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/simcache"
 	"repro/internal/workload"
@@ -232,6 +237,76 @@ func BenchmarkRunPlanOverhead(b *testing.B) {
 			m.CacheMisses, plan.Len())
 	}
 	b.ReportMetric(float64(plan.Len()), "units/op")
+}
+
+// BenchmarkServeSubmitWarm measures the HTTP service's per-job overhead
+// on a warm cache: one submit of a small quick plan populates the
+// content-addressed cache, then every iteration re-submits the identical
+// spec over HTTP and polls the status endpoint until the job finishes.
+// With every unit a cache hit, the measured time is the whole service
+// spine — JSON decode, registry admission, engine dispatch, event log,
+// status polling — with zero simulation inside, the same contract
+// BenchmarkRunPlanOverhead pins for the engine layer below it.
+func BenchmarkServeSubmitWarm(b *testing.B) {
+	cache, err := simcache.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Cache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	const spec = `{"plan": {"preset": "quick", "cores": 4, "scale": 0.05}}`
+	submitWait := func() int {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sub struct {
+			ID    string `json:"id"`
+			Units int    `json:"units"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit: HTTP %d", resp.StatusCode)
+		}
+		for {
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st struct {
+				State string `json:"state"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			switch st.State {
+			case "done":
+				return sub.Units
+			case "failed":
+				b.Fatalf("job %s failed", sub.ID)
+			}
+		}
+	}
+	units := submitWait() // warm the cache: the only simulated run
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitWait()
+	}
+	b.StopTimer()
+	if m := srv.Engine().Metrics(); int(m.CacheMisses) != units {
+		b.Fatalf("%d cache misses after warm-up, want %d (warm run only) — a warm submit simulated",
+			m.CacheMisses, units)
+	}
+	b.ReportMetric(float64(units), "units/op")
 }
 
 // BenchmarkAblationBloomFilterOverhead measures what the addr-list protocol

@@ -79,6 +79,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/pkg/rmwtso"
 )
 
@@ -97,9 +98,6 @@ func main() {
 		enumW    = flag.Int("enum-workers", 0, "goroutines per model-checking verdict (default: auto by candidate count)")
 		progress = flag.Bool("progress", false, "stream per-run progress while simulating")
 		mat      = flag.Bool("materialize", false, "pre-build whole traces in memory instead of streaming them")
-		cacheOn  = flag.Bool("cache", false, "cache simulation results (default directory: ~/.cache/rmwtso)")
-		cacheDir = flag.String("cache-dir", "", "cache simulation results under this directory (implies -cache)")
-		cacheClr = flag.Bool("cache-clear", false, "clear the cache directory before running (implies -cache)")
 		shardArg = flag.String("shard", "", "run only sweep shard i/n (requires -out)")
 		outPath  = flag.String("out", "", "write the shard artifact to this file (with -shard)")
 		merge    = flag.Bool("merge", false, "merge the shard artifact files given as arguments into the full report")
@@ -115,6 +113,7 @@ func main() {
 		failUnit   = flag.String("fail-unit", "", "fault injection: comma-separated unit IDs that permanently fail every attempt")
 		crashAfter = flag.Int("crash-after", -1, "fault injection: crash the worker (in-process: worker-0) after executing this many units")
 	)
+	cacheFlags := cliflags.RegisterCache(flag.CommandLine, "simulation results")
 	flag.Parse()
 
 	// Arm fault injection before any I/O when the chaos environment
@@ -130,20 +129,21 @@ func main() {
 	// workload generator or the enumeration heuristic (explicit
 	// "-cores 0"/"-scale 0" included; the unset default 0 means "keep
 	// the preset").
-	if *cores < 0 || (*cores == 0 && flagWasSet("cores")) {
-		fatalUsage(fmt.Errorf("-cores must be positive, got %d", *cores))
+	fs := flag.CommandLine
+	if err := cliflags.PositiveIntIfSet(fs, "cores", *cores); err != nil {
+		fatalUsage(err)
 	}
-	if *scale < 0 || (*scale == 0 && flagWasSet("scale")) {
-		fatalUsage(fmt.Errorf("-scale must be positive, got %g", *scale))
+	if err := cliflags.PositiveFloatIfSet(fs, "scale", *scale); err != nil {
+		fatalUsage(err)
 	}
-	if *enumW < 0 {
-		fatalUsage(fmt.Errorf("-enum-workers must be non-negative, got %d", *enumW))
+	if err := cliflags.NonNegativeInt("enum-workers", *enumW); err != nil {
+		fatalUsage(err)
 	}
-	if *par < 0 {
-		fatalUsage(fmt.Errorf("-j must be non-negative, got %d", *par))
+	if err := cliflags.NonNegativeInt("j", *par); err != nil {
+		fatalUsage(err)
 	}
-	if *seeds < 0 || (*seeds == 0 && flagWasSet("seeds")) {
-		fatalUsage(fmt.Errorf("-seeds must be positive, got %d", *seeds))
+	if err := cliflags.PositiveIntIfSet(fs, "seeds", *seeds); err != nil {
+		fatalUsage(err)
 	}
 
 	// Coordination modes are mutually exclusive roles of the same sweep.
@@ -156,16 +156,16 @@ func main() {
 	if coordModes > 1 {
 		fatalUsage(fmt.Errorf("-coordinate, -serve-coordinator and -worker are mutually exclusive roles"))
 	}
-	if *coordN < 0 || (*coordN == 0 && flagWasSet("coordinate")) {
+	if *coordN < 0 || (*coordN == 0 && cliflags.WasSet(fs, "coordinate")) {
 		fatalUsage(fmt.Errorf("-coordinate needs a positive worker count, got %d", *coordN))
 	}
-	if *leaseTTL < 0 || (*leaseTTL == 0 && flagWasSet("lease-ttl")) {
-		fatalUsage(fmt.Errorf("-lease-ttl must be positive, got %v", *leaseTTL))
+	if err := cliflags.PositiveDurationIfSet(fs, "lease-ttl", *leaseTTL); err != nil {
+		fatalUsage(err)
 	}
-	if *maxAtt < 0 || (*maxAtt == 0 && flagWasSet("max-attempts")) {
-		fatalUsage(fmt.Errorf("-max-attempts must be positive, got %d", *maxAtt))
+	if err := cliflags.PositiveIntIfSet(fs, "max-attempts", *maxAtt); err != nil {
+		fatalUsage(err)
 	}
-	if coordModes == 0 && (*failUnit != "" || *crashAfter >= 0 || flagWasSet("lease-ttl") || flagWasSet("max-attempts") || *workerName != "") {
+	if coordModes == 0 && (*failUnit != "" || *crashAfter >= 0 || cliflags.WasSet(fs, "lease-ttl") || cliflags.WasSet(fs, "max-attempts") || *workerName != "") {
 		fatalUsage(fmt.Errorf("-lease-ttl/-max-attempts/-fail-unit/-crash-after/-worker-name only apply to coordinated sweeps (-coordinate, -serve-coordinator or -worker)"))
 	}
 	if *serveArg != "" && (*failUnit != "" || *crashAfter >= 0) {
@@ -202,7 +202,7 @@ func main() {
 		opts.EnumWorkers = *enumW
 	}
 
-	cache, err := rmwtso.OpenCacheFromFlags(*cacheOn, *cacheDir, *cacheClr)
+	cache, err := rmwtso.OpenCacheFromFlags(*cacheFlags.Enabled, *cacheFlags.Dir, *cacheFlags.Clear)
 	check(err)
 	opts.Cache = cache
 
@@ -543,17 +543,6 @@ func reportCache(cache *rmwtso.Cache) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "cache: %s (dir %s)\n", cache.Stats(), cache.Dir())
-}
-
-// flagWasSet reports whether the named flag was given explicitly.
-func flagWasSet(name string) bool {
-	set := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == name {
-			set = true
-		}
-	})
-	return set
 }
 
 func check(err error) {

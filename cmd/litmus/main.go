@@ -46,6 +46,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/cliflags"
 	"repro/pkg/rmwtso"
 )
 
@@ -61,23 +62,22 @@ func main() {
 		verbose  = flag.Bool("v", false, "stream outcome sets as verdicts finish")
 		shardArg = flag.String("shard", "", "run only verdict shard i/n")
 		listU    = flag.Bool("list-units", false, "print the verdict grid (unit ID, test, type) and exit")
-		format   = flag.String("format", "ascii", "verdict output format: ascii, json or csv")
-		cacheOn  = flag.Bool("cache", false, "cache verdicts (default directory: ~/.cache/rmwtso)")
-		cacheDir = flag.String("cache-dir", "", "cache verdicts under this directory (implies -cache)")
-		cacheClr = flag.Bool("cache-clear", false, "clear the cache directory before running (implies -cache)")
 	)
+	formatFlag := cliflags.RegisterFormat(flag.CommandLine, "format", rmwtso.FormatASCII,
+		"verdict output format: ascii, json or csv",
+		rmwtso.FormatASCII, rmwtso.FormatJSON, rmwtso.FormatCSV)
+	cacheFlags := cliflags.RegisterCache(flag.CommandLine, "verdicts")
 	flag.Parse()
+	format := formatFlag.Value
 
-	if *par < 0 {
-		fatalUsage(fmt.Errorf("-j must be non-negative, got %d", *par))
+	if err := cliflags.NonNegativeInt("j", *par); err != nil {
+		fatalUsage(err)
 	}
-	if *enumW < 0 {
-		fatalUsage(fmt.Errorf("-enum-workers must be non-negative, got %d", *enumW))
+	if err := cliflags.NonNegativeInt("enum-workers", *enumW); err != nil {
+		fatalUsage(err)
 	}
-	switch *format {
-	case rmwtso.FormatASCII, rmwtso.FormatJSON, rmwtso.FormatCSV:
-	default:
-		fatalUsage(fmt.Errorf("unknown -format %q (want ascii, json or csv)", *format))
+	if err := formatFlag.Validate(); err != nil {
+		fatalUsage(err)
 	}
 	shard := rmwtso.FullShard()
 	if *shardArg != "" {
@@ -87,7 +87,7 @@ func main() {
 		}
 	}
 
-	cache, err := rmwtso.OpenCacheFromFlags(*cacheOn, *cacheDir, *cacheClr)
+	cache, err := rmwtso.OpenCacheFromFlags(*cacheFlags.Enabled, *cacheFlags.Dir, *cacheFlags.Clear)
 	if err != nil {
 		fatal(err)
 	}

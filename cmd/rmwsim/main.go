@@ -37,6 +37,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/pkg/rmwtso"
 )
 
@@ -75,12 +76,13 @@ func main() {
 		check     = flag.Bool("check", false, "model-check the fig10 litmus test before simulating it")
 		enumW     = flag.Int("enum-workers", 0, "goroutines per -check verdict's enumeration (default: auto by candidate count)")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
-		format    = flag.String("format", "ascii", "run output format: ascii or json")
-		cacheOn   = flag.Bool("cache", false, "cache simulation results (default directory: ~/.cache/rmwtso)")
-		cacheDir  = flag.String("cache-dir", "", "cache simulation results under this directory (implies -cache)")
-		cacheClr  = flag.Bool("cache-clear", false, "clear the cache directory before running (implies -cache)")
 	)
+	formatFlag := cliflags.RegisterFormat(flag.CommandLine, "format", rmwtso.FormatASCII,
+		"run output format: ascii or json",
+		rmwtso.FormatASCII, rmwtso.FormatJSON)
+	cacheFlags := cliflags.RegisterCache(flag.CommandLine, "simulation results")
 	flag.Parse()
+	format := formatFlag.Value
 
 	if *list {
 		fmt.Println("Benchmarks:", strings.Join(rmwtso.ProfileNames(), ", "), "and fig10")
@@ -89,22 +91,20 @@ func main() {
 
 	// Reject values the workload generator and heuristics would otherwise
 	// accept silently as garbage.
-	if *cores <= 0 {
-		fatalUsage(fmt.Errorf("-cores must be positive, got %d", *cores))
+	if err := cliflags.PositiveInt("cores", *cores); err != nil {
+		fatalUsage(err)
 	}
-	if *scale <= 0 {
-		fatalUsage(fmt.Errorf("-scale must be positive, got %g", *scale))
+	if err := cliflags.PositiveFloat("scale", *scale); err != nil {
+		fatalUsage(err)
 	}
-	if *enumW < 0 {
-		fatalUsage(fmt.Errorf("-enum-workers must be non-negative, got %d", *enumW))
+	if err := cliflags.NonNegativeInt("enum-workers", *enumW); err != nil {
+		fatalUsage(err)
 	}
-	switch *format {
-	case rmwtso.FormatASCII, rmwtso.FormatJSON:
-	default:
-		fatalUsage(fmt.Errorf("unknown -format %q (want ascii or json)", *format))
+	if err := formatFlag.Validate(); err != nil {
+		fatalUsage(err)
 	}
 
-	cache, err := rmwtso.OpenCacheFromFlags(*cacheOn, *cacheDir, *cacheClr)
+	cache, err := rmwtso.OpenCacheFromFlags(*cacheFlags.Enabled, *cacheFlags.Dir, *cacheFlags.Clear)
 	if err != nil {
 		fatal(err)
 	}

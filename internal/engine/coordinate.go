@@ -119,17 +119,18 @@ func (e *Engine) coordConfig() CoordinationConfig {
 }
 
 // coordObserver builds the queue's event callback: each transition feeds
-// the job's metrics (live lease gauge) and the engine's observer stream.
+// the job's metrics (live lease gauge) and the observer streams.
 func (e *Engine) coordObserver(m *metrics) func(coordinator.Event) {
 	return func(ev coordinator.Event) {
 		m.coordEvent(ev)
-		e.emitCoord(ev)
+		e.emitCoord(m, ev)
 	}
 }
 
-// emitCoord forwards one queue transition to the engine's observer.
-func (e *Engine) emitCoord(ev coordinator.Event) {
-	e.emit(Event{Coord: &CoordEvent{
+// emitCoord forwards one queue transition to the engine's observer and
+// the owning job's stream.
+func (e *Engine) emitCoord(m *metrics, ev coordinator.Event) {
+	e.emitTo(m, Event{Coord: &CoordEvent{
 		Kind:    string(ev.Kind),
 		Unit:    UnitID(ev.Task),
 		Worker:  ev.Worker,
@@ -271,8 +272,7 @@ func (e *Engine) assembleCoordinated(plan *Plan, shard Shard, selected []Unit, q
 // recovery (lease expiry requeue), bounded retries and dead-lettering —
 // and a completed sweep's results identical to the static path's, since
 // both execute units through runUnit.
-func (e *Engine) runPlanCoordinated(ctx context.Context, plan *Plan, shard Shard, m *metrics) (*ShardResult, error) {
-	cfg := e.coordConfig()
+func (e *Engine) runPlanCoordinated(ctx context.Context, plan *Plan, shard Shard, m *metrics, cfg CoordinationConfig) (*ShardResult, error) {
 	if err := shard.Validate(); err != nil {
 		return nil, err
 	}
@@ -384,12 +384,22 @@ type CoordServer struct {
 // shard selects, configured by the engine's WithCoordinator (defaults
 // apply without it).
 func (e *Engine) NewCoordServer(plan *Plan, shard Shard) (*CoordServer, error) {
+	return e.NewCoordServerWith(plan, shard, e.coordConfig(), nil)
+}
+
+// NewCoordServerWith is NewCoordServer under an explicit coordination
+// configuration and an optional per-sweep observer that receives this
+// sweep's events only (the engine-wide observer still sees them too) —
+// the form a multi-sweep host like rmwtso-serve needs, where each hosted
+// fleet carries its own configuration and event stream.
+func (e *Engine) NewCoordServerWith(plan *Plan, shard Shard, cfg CoordinationConfig, obs Observer) (*CoordServer, error) {
 	if err := shard.Validate(); err != nil {
 		return nil, err
 	}
-	cfg := e.coordConfig()
 	selected := plan.Select(shard)
 	m := newJobMetrics(&e.metrics)
+	m.obs = obs
+	m.remoteAcks = true
 	m.planned(len(selected))
 	ids := make([]string, len(selected))
 	for i, u := range selected {

@@ -221,6 +221,21 @@ func (e *Engine) emit(ev Event) {
 	e.opts.observer(ev)
 }
 
+// emitTo delivers one event to the engine-wide observer and, when m is a
+// job collector with its own observer (Job.Observer), to that job's
+// stream as well. Each stream is serialized independently: the engine
+// observer under emitMu, the job observer under the collector's obsMu,
+// so one job's slow consumer never blocks another job's events.
+func (e *Engine) emitTo(m *metrics, ev Event) {
+	e.emit(ev)
+	if m == nil || m.obs == nil {
+		return
+	}
+	m.obsMu.Lock()
+	defer m.obsMu.Unlock()
+	m.obs(ev)
+}
+
 // runUnits executes run(0..n-1) on the worker pool under the Engine's
 // own context. It returns the context's error if cancelled, otherwise the
 // first unit error. Units are claimed in order but finish in any order;

@@ -19,6 +19,15 @@ type Job struct {
 	Litmus *LitmusGrid
 	// Shard selects the subset of the job's units to execute.
 	Shard Shard
+	// Observer, when non-nil, receives exactly this job's events (the
+	// engine-wide WithObserver stream still sees every job's). It is
+	// called serially per job but concurrently across jobs, so a shared
+	// Observer needs its own locking; per-job Observers need none.
+	Observer Observer
+	// Coordination, when non-nil, runs a plan job through its own
+	// dynamic pull queue with this configuration, overriding the
+	// engine-level WithCoordinator setting for this job only.
+	Coordination *CoordinationConfig
 }
 
 // LitmusGrid is the litmus-verdict form of a Job: the (test, type) grid
@@ -55,8 +64,19 @@ func (h *JobHandle) Done() <-chan struct{} { return h.done }
 // coordinated plan that drained with dead letters returns a
 // *DeadLetterError exactly like the facade's RunPlan.
 func (h *JobHandle) Wait() (*JobResult, error) {
-	<-h.done
-	return h.res, h.err
+	return h.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait bounded by ctx: it returns ctx.Err() if the context
+// ends first. The job itself keeps running — WaitCtx abandons the wait,
+// not the work; cancel the Submit context to stop the job.
+func (h *JobHandle) WaitCtx(ctx context.Context) (*JobResult, error) {
+	select {
+	case <-h.done:
+		return h.res, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Metrics snapshots the job's progress counters. Safe to call while the
@@ -78,11 +98,16 @@ func (e *Engine) Submit(ctx context.Context, job Job) (*JobHandle, error) {
 		ctx = e.opts.ctx
 	}
 	h := &JobHandle{done: make(chan struct{}), m: newJobMetrics(&e.metrics)}
+	h.m.obs = job.Observer
+	coord := e.opts.coord
+	if job.Coordination != nil {
+		coord = job.Coordination
+	}
 	go func() {
 		defer close(h.done)
 		switch {
 		case job.Plan != nil:
-			sr, err := e.runPlanJob(ctx, job.Plan, job.Shard, h.m)
+			sr, err := e.runPlanJob(ctx, job.Plan, job.Shard, h.m, coord)
 			if sr != nil {
 				e.store.AddShard(sr)
 			}
@@ -96,10 +121,11 @@ func (e *Engine) Submit(ctx context.Context, job Job) (*JobHandle, error) {
 }
 
 // runPlanJob dispatches a plan job to the static pool or the coordinated
-// pull queue, whichever the engine is configured for.
-func (e *Engine) runPlanJob(ctx context.Context, plan *Plan, shard Shard, m *metrics) (*ShardResult, error) {
-	if e.opts.coord != nil {
-		return e.runPlanCoordinated(ctx, plan, shard, m)
+// pull queue, whichever the job (Job.Coordination) or the engine
+// (WithCoordinator) selected.
+func (e *Engine) runPlanJob(ctx context.Context, plan *Plan, shard Shard, m *metrics, coord *CoordinationConfig) (*ShardResult, error) {
+	if coord != nil {
+		return e.runPlanCoordinated(ctx, plan, shard, m, *coord)
 	}
 	return e.runPlanStatic(ctx, plan, shard, m)
 }

@@ -62,7 +62,7 @@ func (e *Engine) checkTestsSharded(ctx context.Context, shard Shard, m *metrics,
 				res.Unit = string(u.id)
 				results[i] = res
 				m.verdictDone(true)
-				e.emit(Event{Litmus: &results[i]})
+				e.emitTo(m, Event{Litmus: &results[i]})
 				return nil
 			}
 		}
@@ -76,7 +76,7 @@ func (e *Engine) checkTestsSharded(ctx context.Context, shard Shard, m *metrics,
 		res.Unit = string(u.id)
 		results[i] = res
 		m.verdictDone(false)
-		e.emit(Event{Litmus: &results[i]})
+		e.emitTo(m, Event{Litmus: &results[i]})
 		return nil
 	})
 	if err != nil {

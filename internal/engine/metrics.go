@@ -90,6 +90,13 @@ type metrics struct {
 	parent *metrics
 	start  time.Time
 
+	// obs, when non-nil, is the job's own event stream (Job.Observer):
+	// it receives exactly this job's events, serialized under obsMu, so
+	// concurrent jobs on one engine never interleave on it. The engine
+	// aggregate's obs is always nil.
+	obs   Observer
+	obsMu sync.Mutex
+
 	unitsPlanned     int
 	unitsDone        int
 	cacheHits        int
@@ -102,6 +109,12 @@ type metrics struct {
 	expired  int
 	workers  []WorkerMetrics
 	dead     []DeadLetterMetrics
+
+	// remoteAcks, set on a hosted coordinator's collector (NewCoordServer),
+	// counts queue acks as finished units: the units execute on remote
+	// workers' engines, so runUnit never credits this collector. Cache
+	// counters stay untouched — hits and misses happen at the workers.
+	remoteAcks bool
 }
 
 // newJobMetrics builds a per-job collector chained to the engine's.
@@ -153,7 +166,17 @@ func (m *metrics) coordEvent(e coordinator.Event) {
 	switch string(e.Kind) {
 	case "lease":
 		m.update(func(m *metrics) { m.inflight++ })
-	case "ack", "nack", "expire":
+	case "ack":
+		done := m.remoteAcks
+		m.update(func(m *metrics) {
+			if m.inflight > 0 {
+				m.inflight--
+			}
+			if done {
+				m.unitsDone++
+			}
+		})
+	case "nack", "expire":
 		m.update(func(m *metrics) {
 			if m.inflight > 0 {
 				m.inflight--

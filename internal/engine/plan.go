@@ -427,7 +427,7 @@ func (e *Engine) runUnit(base SimConfig, u Unit, src TraceSource, cache *simcach
 			}
 			ur := UnitResult{Unit: u.ID, Trace: u.Trace, Type: u.Type, Seed: u.Seed, CacheHit: true, Result: res}
 			m.unitDone(true)
-			e.emit(Event{Sim: &SimRun{Unit: u.ID, Trace: u.Trace, Type: u.Type, Result: res, CacheHit: true}})
+			e.emitTo(m, Event{Sim: &SimRun{Unit: u.ID, Trace: u.Trace, Type: u.Type, Result: res, CacheHit: true}})
 			return ur, nil
 		}
 	}
@@ -443,7 +443,7 @@ func (e *Engine) runUnit(base SimConfig, u Unit, src TraceSource, cache *simcach
 	}
 	ur := UnitResult{Unit: u.ID, Trace: u.Trace, Type: u.Type, Seed: u.Seed, Result: res}
 	m.unitDone(false)
-	e.emit(Event{Sim: &SimRun{Unit: u.ID, Trace: u.Trace, Type: u.Type, Result: res}})
+	e.emitTo(m, Event{Sim: &SimRun{Unit: u.ID, Trace: u.Trace, Type: u.Type, Result: res}})
 	return ur, nil
 }
 

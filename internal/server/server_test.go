@@ -1,0 +1,547 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+// tinyPlanSpec is the sweep shape every test submits: the quick preset
+// shrunk further so a full plan job finishes in seconds.
+const tinyPlanSpec = `{"preset":"quick","cores":4,"scale":0.05}`
+
+// tinyPlanOptions mirrors tinyPlanSpec through the same folding rule the
+// server applies, for building the expected side of parity checks.
+func tinyPlanOptions() engine.Options {
+	opts := experiments.QuickOptions()
+	opts.Cores = 4
+	opts.Scale = 0.05
+	return opts
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// submit POSTs a job body and decodes the JSON response.
+func submit(t *testing.T, ts *httptest.Server, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return resp.StatusCode, doc
+}
+
+// getJSON fetches a path and decodes the JSON response.
+func getJSON(t *testing.T, ts *httptest.Server, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	return resp.StatusCode, doc
+}
+
+// waitDone polls a job's status until it leaves the running state.
+func waitDone(t *testing.T, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		code, doc := getJSON(t, ts, "/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("job status %s: HTTP %d: %v", id, code, doc)
+		}
+		if doc["state"] != "running" {
+			return doc
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return nil
+}
+
+// expectedReportJSON runs the identical sweep through the batch pipeline
+// (plan → engine → runs → report → encoder), exactly like cmd/experiments
+// emitReport, and returns the encoded bytes the server must match.
+func expectedReportJSON(t *testing.T, opts engine.Options) []byte {
+	t.Helper()
+	plan, err := engine.DefaultPlanSeeds(opts, opts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New()
+	h, err := eng.Submit(context.Background(), engine.Job{Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := plan.Runs(res.Shard.Units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := experiments.BuildReport(opts, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Coordination = res.Shard.Coordination
+	enc, err := experiments.NewEncoder(experiments.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := enc.Encode(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// sseFrame is one parsed Server-Sent Events frame.
+type sseFrame struct {
+	id    string
+	event string
+	data  map[string]any
+}
+
+// readSSE consumes a /events stream until the terminal done frame.
+func readSSE(t *testing.T, ts *httptest.Server, id string) []sseFrame {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events stream: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q, want text/event-stream", ct)
+	}
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			frames = append(frames, cur)
+			if cur.event == "done" {
+				return frames
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	t.Fatalf("stream ended without a done frame (read %d frames): %v", len(frames), sc.Err())
+	return nil
+}
+
+// TestPlanJobLifecycle drives the cornerstone path end to end: submit a
+// plan sweep over HTTP, follow it to completion, check every query
+// surface against it (status, results by unit and by content key, SSE
+// replay, /metrics), verify the report is byte-identical to the batch
+// CLI pipeline, and finally drain with an artifact directory.
+func TestPlanJobLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, Config{ArtifactDir: dir, DrainTimeout: time.Second})
+
+	code, doc := submit(t, ts, `{"plan":`+tinyPlanSpec+`}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, doc)
+	}
+	id, _ := doc["id"].(string)
+	if id == "" {
+		t.Fatalf("submit response has no job id: %v", doc)
+	}
+	if doc["kind"] != "plan" || doc["mode"] != "static" {
+		t.Fatalf("submit response kind/mode = %v/%v", doc["kind"], doc["mode"])
+	}
+	if doc["plan_fingerprint"] == "" {
+		t.Fatalf("submit response has no plan fingerprint: %v", doc)
+	}
+	units := int(doc["units"].(float64))
+	if units <= 0 {
+		t.Fatalf("submit response units = %d, want > 0", units)
+	}
+
+	final := waitDone(t, ts, id)
+	if final["state"] != "done" {
+		t.Fatalf("job finished in state %v (error %v)", final["state"], final["error"])
+	}
+	metrics := final["metrics"].(map[string]any)
+	if got := int(metrics["units_done"].(float64)); got != units {
+		t.Fatalf("units_done = %d, want %d", got, units)
+	}
+
+	// The SSE stream replays the whole history for late subscribers:
+	// exactly one sim frame per unit, sequence-numbered, then done.
+	frames := readSSE(t, ts, id)
+	if len(frames) != units+1 {
+		t.Fatalf("SSE replay has %d frames, want %d units + done", len(frames), units)
+	}
+	unitSet := map[string]bool{}
+	for i, fr := range frames[:units] {
+		if fr.event != "sim" {
+			t.Fatalf("frame %d event = %q, want sim", i, fr.event)
+		}
+		if fr.id != fmt.Sprint(i) || int(fr.data["seq"].(float64)) != i {
+			t.Fatalf("frame %d has id %q seq %v, want %d", i, fr.id, fr.data["seq"], i)
+		}
+		unitSet[fr.data["unit"].(string)] = true
+	}
+	if len(unitSet) != units {
+		t.Fatalf("SSE replay covered %d distinct units, want %d", len(unitSet), units)
+	}
+
+	// Every planned unit is queryable by ID and by full content key.
+	opts := tinyPlanOptions()
+	plan, err := engine.DefaultPlanSeeds(opts, opts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := plan.Units()[0]
+	if code, doc := getJSON(t, ts, "/v1/results/"+string(u.ID)); code != http.StatusOK {
+		t.Fatalf("result %s: HTTP %d: %v", u.ID, code, doc)
+	}
+	code, byKey := getJSON(t, ts, "/v1/results/by-key/"+u.Key.Digest())
+	if code != http.StatusOK {
+		t.Fatalf("result by key: HTTP %d: %v", code, byKey)
+	}
+	if byKey["unit"] != string(u.ID) {
+		t.Fatalf("by-key lookup resolved unit %v, want %s", byKey["unit"], u.ID)
+	}
+
+	// The report endpoint must reproduce the batch pipeline's bytes.
+	resp, err := http.Get(ts.URL + "/v1/reports/" + id + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: HTTP %d: %s", resp.StatusCode, got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("report Content-Type = %q, want application/json", ct)
+	}
+	want := expectedReportJSON(t, opts)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report bytes differ from the batch pipeline's (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The ASCII encoding serves too (spot-check, not byte-compared here).
+	if resp, err := http.Get(ts.URL + "/v1/reports/" + id); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("ascii report: %v / HTTP %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// /metrics speaks Prometheus text format and has absorbed the sweep.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := readAll(mresp)
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	text := string(mbody)
+	for _, want := range []string{
+		"# TYPE rmwtso_units_done_total counter",
+		fmt.Sprintf("rmwtso_units_done_total %d\n", units),
+		"rmwtso_cache_hits_total ",
+		"rmwtso_cache_misses_total ",
+		"rmwtso_units_per_second ",
+		"rmwtso_jobs_inflight 0",
+		"rmwtso_jobs_total 1",
+		`rmwtso_http_requests_total{route="/v1/jobs",code="202"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	// Drain with nothing running returns promptly and flushes the shard
+	// artifact for the finished plan job.
+	start := time.Now()
+	srv.Drain()
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("idle drain took %s, want immediate", elapsed)
+	}
+	artifact := filepath.Join(dir, id+".json")
+	shard, err := engine.ReadShardFile(artifact)
+	if err != nil {
+		t.Fatalf("drain did not flush a readable shard artifact: %v", err)
+	}
+	if len(shard.Units) != units {
+		t.Fatalf("artifact has %d units, want %d", len(shard.Units), units)
+	}
+
+	// Draining flips readiness and refuses new work.
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %v / HTTP %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if code, _ := submit(t, ts, `{"plan":{"preset":"quick"}}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: HTTP %d, want 503", code)
+	}
+}
+
+// readAll drains and closes a response body.
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// TestLitmusJobStreamsLive submits a litmus job and follows its SSE
+// stream as it runs: one litmus frame per verdict, then done.
+func TestLitmusJobStreamsLive(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, doc := submit(t, ts, `{"litmus":{"name":"write-deadlock (Fig. 10)"}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, doc)
+	}
+	id := doc["id"].(string)
+	units := int(doc["units"].(float64))
+	if units != 3 {
+		t.Fatalf("litmus job units = %d, want 3 (one per atomicity type)", units)
+	}
+
+	frames := readSSE(t, ts, id)
+	if len(frames) != units+1 {
+		t.Fatalf("SSE stream has %d frames, want %d verdicts + done", len(frames), units)
+	}
+	for i, fr := range frames[:units] {
+		if fr.event != "litmus" {
+			t.Fatalf("frame %d event = %q, want litmus", i, fr.event)
+		}
+		if fr.data["test"] != "write-deadlock (Fig. 10)" {
+			t.Fatalf("frame %d test = %v", i, fr.data["test"])
+		}
+		if holds, ok := fr.data["holds"].(bool); !ok || holds {
+			// The cyclic outcome is forbidden under every type.
+			t.Fatalf("frame %d holds = %v, want false", i, fr.data["holds"])
+		}
+	}
+	if frames[units].data["state"] != "done" {
+		t.Fatalf("terminal frame state = %v", frames[units].data["state"])
+	}
+
+	// A litmus job has no report.
+	if code, doc := getJSON(t, ts, "/v1/reports/"+id); code != http.StatusBadRequest {
+		t.Fatalf("litmus report: HTTP %d: %v", code, doc)
+	}
+}
+
+// TestSubmitValidation checks the request-shape errors of POST /v1/jobs.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", `{}`},
+		{"both", `{"plan":{"preset":"quick"},"litmus":{"name":"x"}}`},
+		{"unknown field", `{"plan":{"preset":"quick"},"bogus":1}`},
+		{"bad preset", `{"plan":{"preset":"huge"}}`},
+		{"negative cores", `{"plan":{"preset":"quick","cores":-1}}`},
+		{"bad mode", `{"plan":{"preset":"quick"},"mode":"push"}`},
+		{"litmus fleet", `{"litmus":{"name":"write-deadlock (Fig. 10)"},"mode":"fleet"}`},
+		{"litmus over-specified", `{"litmus":{"name":"a","group":"b"}}`},
+		{"unknown litmus test", `{"litmus":{"name":"no-such-test"}}`},
+		{"bad lease ttl", `{"plan":` + tinyPlanSpec + `,"mode":"coordinate","lease_ttl":"soon"}`},
+		{"negative workers", `{"plan":` + tinyPlanSpec + `,"mode":"coordinate","workers":-1}`},
+	}
+	for _, tc := range cases {
+		if code, doc := submit(t, ts, tc.body); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d (%v), want 400", tc.name, code, doc["error"])
+		}
+	}
+	for _, path := range []string{"/v1/jobs/job-999999", "/v1/reports/job-999999", "/v1/results/ffffffffffffffff", "/v1/results/by-key/ffff", "/v1/coord/job-999999/lease"} {
+		if code, _ := getJSON(t, ts, path); code != http.StatusNotFound {
+			t.Errorf("GET %s: HTTP %d, want 404", path, code)
+		}
+	}
+}
+
+// TestBackpressureAndDrainCancel fills the registry with a fleet job no
+// worker ever serves, checks the 429 backpressure, then drains: the
+// deadline passes, the straggler is cancelled, the server quiesces.
+func TestBackpressureAndDrainCancel(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxJobs: 1, DrainTimeout: 100 * time.Millisecond})
+
+	code, doc := submit(t, ts, `{"plan":`+tinyPlanSpec+`,"mode":"fleet"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("fleet submit: HTTP %d: %v", code, doc)
+	}
+	id := doc["id"].(string)
+	links := doc["links"].(map[string]any)
+	if links["coordinator"] != "/v1/coord/"+id {
+		t.Fatalf("fleet job links = %v, want a coordinator", links)
+	}
+
+	// The slot is taken: the next submit is told to back off.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"litmus":{"name":"write-deadlock (Fig. 10)"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 response has no Retry-After header")
+	}
+
+	// Still ready before the drain.
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %v / HTTP %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Drain: the fleet job has no workers, so the deadline expires and
+	// the job is cancelled rather than waited on forever.
+	start := time.Now()
+	srv.Drain()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("drain took %s, want roughly the 100ms deadline", elapsed)
+	}
+	final := waitDone(t, ts, id)
+	if final["state"] != "failed" {
+		t.Fatalf("cancelled fleet job state = %v, want failed", final["state"])
+	}
+}
+
+// TestRetentionEviction verifies the TTL'd registry: finished jobs stay
+// queryable until RetainFinished passes, then vanish. The clock is
+// injected so nothing sleeps.
+func TestRetentionEviction(t *testing.T) {
+	srv, ts := newTestServer(t, Config{RetainFinished: time.Minute})
+	base := time.Now()
+	var offset atomic.Int64
+	srv.now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+
+	code, doc := submit(t, ts, `{"litmus":{"name":"write-deadlock (Fig. 10)"}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, doc)
+	}
+	id := doc["id"].(string)
+	waitDone(t, ts, id)
+
+	// Inside the TTL the job is still there.
+	offset.Store(int64(30 * time.Second))
+	if code, _ := getJSON(t, ts, "/v1/jobs/"+id); code != http.StatusOK {
+		t.Fatalf("job gone before its TTL: HTTP %d", code)
+	}
+
+	// Past the TTL it is evicted everywhere.
+	offset.Store(int64(2 * time.Minute))
+	if code, _ := getJSON(t, ts, "/v1/jobs/"+id); code != http.StatusNotFound {
+		t.Fatalf("job survived its TTL: HTTP %d", code)
+	}
+	if _, doc := getJSON(t, ts, "/v1/jobs"); len(doc["jobs"].([]any)) != 0 {
+		t.Fatalf("job list still shows evicted jobs: %v", doc["jobs"])
+	}
+}
+
+// TestFleetModeEndToEnd hosts a sweep coordinator over HTTP and drains
+// it with a real pull worker from a second engine, exactly how an
+// `experiments -worker` process would: the job finishes, the report is
+// served, and the coordination section records the fleet.
+func TestFleetModeEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, doc := submit(t, ts, `{"plan":`+tinyPlanSpec+`,"mode":"fleet","workers":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("fleet submit: HTTP %d: %v", code, doc)
+	}
+	id := doc["id"].(string)
+
+	// The worker rebuilds the identical plan locally; the fingerprint
+	// handshake would refuse anything else.
+	opts := tinyPlanOptions()
+	plan, err := engine.DefaultPlanSeeds(opts, opts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker := engine.New()
+	if err := worker.RunPlanWorker(context.Background(), plan, ts.URL+"/v1/coord/"+id, "w1"); err != nil {
+		t.Fatalf("fleet worker: %v", err)
+	}
+
+	final := waitDone(t, ts, id)
+	if final["state"] != "done" {
+		t.Fatalf("fleet job state = %v (error %v)", final["state"], final["error"])
+	}
+	metrics := final["metrics"].(map[string]any)
+	if int(metrics["units_done"].(float64)) != int(final["units"].(float64)) {
+		t.Fatalf("fleet metrics = %v, want all %v units done", metrics["units_done"], final["units"])
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/reports/" + id + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet report: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var report struct {
+		Coordination *struct {
+			Mode    string `json:"mode"`
+			Workers []struct {
+				Worker string `json:"worker"`
+			} `json:"workers"`
+		} `json:"coordination"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Coordination == nil || report.Coordination.Mode != "http" ||
+		len(report.Coordination.Workers) != 1 || report.Coordination.Workers[0].Worker != "w1" {
+		t.Fatalf("fleet report coordination section = %+v, want http mode with worker w1", report.Coordination)
+	}
+}

@@ -1,23 +1,31 @@
 // Command archlint enforces the repository's layer DAG:
 //
-//	cmd, examples, simulation -> pkg/rmwtso -> internal/engine -> {coordinator,
-//	    simcache, experiments, sim, memmodel, core, litmus, cpp11, workload, ...}
+//	cmd, examples, simulation -> pkg/rmwtso -> internal/server ->
+//	    internal/engine -> {coordinator, simcache, experiments, sim,
+//	    memmodel, core, litmus, cpp11, workload, ...}
 //
 // Concretely, per layer (non-test files only; tests may cross layers to
 // build fixtures):
 //
 //   - Binaries and examples (cmd/..., examples/..., simulation, the module
 //     root) import repro packages only from pkg/... — the facade is the
-//     sole public entry point.
+//     sole public entry point — plus internal/cliflags, the shared
+//     flag-parsing helper that exists exactly for the binaries.
 //   - The facade (pkg/...) may import internal layers; nothing imports cmd.
+//   - The HTTP service (internal/server) sits between the facade and the
+//     engine: it may import the engine and the lower layers, and only the
+//     facade may import it.
 //   - The execution engine (internal/engine/...) may import the lower
-//     internal layers but never pkg/... — the facade points at the engine,
-//     not the reverse.
+//     internal layers but never pkg/... or internal/server — the facade
+//     points at the engine, not the reverse.
+//   - internal/cliflags is a leaf: pure flag-layer glue that imports no
+//     repro package at all.
 //   - Every other internal package is below the engine: it must not import
-//     internal/engine/... (or pkg/...). In particular internal/experiments
-//     describes the benchmark grid and renders results; execution lives in
-//     the engine alone.
-//   - tools/... follow the binary rule (repro imports from pkg/... only).
+//     internal/engine/..., internal/server, internal/cliflags or pkg/....
+//     In particular internal/experiments describes the benchmark grid and
+//     renders results; execution lives in the engine alone.
+//   - tools/... follow the binary rule (repro imports from pkg/... and
+//     internal/cliflags only).
 //
 // A violation fails the build with the offending import chain, rooted at
 // a binary when one reaches the edge, so the report shows how the illegal
@@ -51,7 +59,9 @@ const (
 	layerBinary layer = iota // cmd/..., examples/..., simulation, module root
 	layerTools               // tools/...
 	layerFacade              // pkg/...
+	layerServer              // internal/server/...
 	layerEngine              // internal/engine/...
+	layerCLI                 // internal/cliflags (leaf flag glue)
 	layerLower               // every other internal/...
 )
 
@@ -63,8 +73,12 @@ func (l layer) String() string {
 		return "tools"
 	case layerFacade:
 		return "facade (pkg)"
+	case layerServer:
+		return "server"
 	case layerEngine:
 		return "engine"
+	case layerCLI:
+		return "cliflags"
 	case layerLower:
 		return "internal"
 	}
@@ -84,8 +98,12 @@ func layerOf(pkg string) layer {
 		return layerTools
 	case rel == "pkg" || strings.HasPrefix(rel, "pkg/"):
 		return layerFacade
+	case rel == "internal/server" || strings.HasPrefix(rel, "internal/server/"):
+		return layerServer
 	case rel == "internal/engine" || strings.HasPrefix(rel, "internal/engine/"):
 		return layerEngine
+	case rel == "internal/cliflags" || strings.HasPrefix(rel, "internal/cliflags/"):
+		return layerCLI
 	default:
 		return layerLower
 	}
@@ -96,25 +114,32 @@ func layerOf(pkg string) layer {
 func allowed(from, to layer) (bool, string) {
 	switch from {
 	case layerBinary, layerTools:
-		if to == layerFacade {
+		if to == layerFacade || to == layerCLI {
 			return true, ""
 		}
-		return false, fmt.Sprintf("%s packages import repro code only through the facade (pkg/...)", from)
+		return false, fmt.Sprintf("%s packages import repro code only through the facade (pkg/...) and internal/cliflags", from)
 	case layerFacade:
 		if to != layerBinary && to != layerTools {
 			return true, ""
 		}
 		return false, "the facade must not import binaries or tools"
+	case layerServer:
+		if to == layerServer || to == layerEngine || to == layerLower {
+			return true, ""
+		}
+		return false, "the server imports only the engine and lower internal layers, never pkg/..., cliflags or binaries"
 	case layerEngine:
 		if to == layerEngine || to == layerLower {
 			return true, ""
 		}
-		return false, "the engine imports only lower internal layers, never pkg/... or binaries"
+		return false, "the engine imports only lower internal layers, never internal/server, pkg/... or binaries"
+	case layerCLI:
+		return false, "internal/cliflags is a leaf: it must not import any repro package"
 	case layerLower:
 		if to == layerLower {
 			return true, ""
 		}
-		return false, "internal packages sit below the engine: they must not import internal/engine/..., pkg/... or binaries"
+		return false, "internal packages sit below the engine: they must not import internal/engine/..., internal/server, internal/cliflags or pkg/..."
 	}
 	return false, "unknown layer"
 }
